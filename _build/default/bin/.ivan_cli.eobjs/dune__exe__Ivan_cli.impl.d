@@ -1,0 +1,1 @@
+bin/ivan_cli.ml: Arg Array Cmd Cmdliner Float Format Ivan_analyzer Ivan_bab Ivan_core Ivan_data Ivan_domains Ivan_harness Ivan_nn Ivan_spec Ivan_tensor List Printf String Term Unix

@@ -1,0 +1,1 @@
+bin/ivan_cli.mli:

@@ -1,0 +1,1 @@
+bin/profile.ml: Array Ivan_analyzer Ivan_data Ivan_domains Ivan_spec Printf Sys Unix

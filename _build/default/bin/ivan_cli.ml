@@ -1,0 +1,434 @@
+(* IVAN command-line interface.
+
+   Subcommands:
+     zoo          list the model zoo (Table 1 analogues)
+     train        train a zoo model and cache its weights
+     verify       verify robustness properties of a zoo model
+     incremental  compare baseline vs. incremental verification on an update
+     prove        verify one property and persist its proof tree
+     reverify     re-verify an updated network from a stored proof
+     diff         differential verification of a quantized variant
+     check        verify a VNN-LIB property against a serialized network
+     experiment   regenerate one of the paper's tables/figures *)
+
+module Vec = Ivan_tensor.Vec
+module Rng = Ivan_tensor.Rng
+module Network = Ivan_nn.Network
+module Quant = Ivan_nn.Quant
+module Perturb = Ivan_nn.Perturb
+module Serialize = Ivan_nn.Serialize
+module Bab = Ivan_bab.Bab
+module Ivan = Ivan_core.Ivan
+module Zoo = Ivan_data.Zoo
+module Runner = Ivan_harness.Runner
+module Workload = Ivan_harness.Workload
+module Report = Ivan_harness.Report
+module Experiments = Ivan_harness.Experiments
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let model_names = List.map (fun s -> s.Zoo.name) Zoo.table1
+
+let model_arg =
+  let doc = Printf.sprintf "Zoo model (one of %s)." (String.concat ", " model_names) in
+  let model_conv = Arg.enum (List.map (fun s -> (s.Zoo.name, s)) Zoo.table1) in
+  Arg.(required & opt (some model_conv) None & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let cache_arg =
+  let doc = "Weight cache directory (default _zoo_cache, or \\$IVAN_ZOO_CACHE)." in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+type update_kind = Quantize of Quant.scheme | Prune of float
+
+let update_conv =
+  Arg.enum
+    [
+      ("int8", Quantize Quant.Int8);
+      ("int16", Quantize Quant.Int16);
+      ("int6", Quantize (Quant.Bits 6));
+      ("prune10", Prune 0.1);
+      ("prune30", Prune 0.3);
+    ]
+
+let apply_update = function
+  | Quantize scheme -> Quant.network scheme
+  | Prune fraction -> Perturb.magnitude_prune ~fraction
+
+let update_name = function
+  | Quantize scheme -> Quant.scheme_name scheme
+  | Prune fraction -> Printf.sprintf "prune %g%%" (100.0 *. fraction)
+
+let update_arg =
+  let doc =
+    "Network update to verify incrementally: int16, int8, int6 quantization or prune10/prune30 \
+     magnitude pruning."
+  in
+  Arg.(value & opt update_conv (Quantize Quant.Int16) & info [ "update" ] ~docv:"UPDATE" ~doc)
+
+let instances_arg default =
+  let doc = "Number of verification instances." in
+  Arg.(value & opt int default & info [ "n"; "instances" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc = "Analyzer-call budget per instance." in
+  Arg.(value & opt int 400 & info [ "budget" ] ~docv:"CALLS" ~doc)
+
+let verdict_string = function
+  | Bab.Proved -> "verified"
+  | Bab.Disproved _ -> "counterexample"
+  | Bab.Exhausted -> "unknown (budget)"
+
+let setting_for spec budget_calls =
+  let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
+  match spec.Zoo.kind with
+  | Zoo.Acas -> Runner.acas_setting ~budget ()
+  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ()
+
+let instances_for spec net count =
+  match spec.Zoo.kind with
+  | Zoo.Acas -> Workload.acas_instances ~net ~margins:[ 0.1; 0.2; 0.3 ] ~seed:333
+  | Zoo.Image_classifier -> Workload.robustness_instances ~spec ~net ~count
+
+(* ---------------- zoo ---------------- *)
+
+let zoo_cmd =
+  let run () =
+    Format.printf "%-16s %-6s %8s %8s %7s  %s@." "Model" "eps" "#Neurons" "#ReLUs" "#Params"
+      "Description";
+    List.iter
+      (fun spec ->
+        let eps = if spec.Zoo.kind = Zoo.Acas then "-" else Printf.sprintf "%.3f" spec.Zoo.eps in
+        let net = Zoo.untrained spec in
+        let params =
+          Array.fold_left
+            (fun acc l -> acc + Ivan_nn.Layer.num_params l)
+            0 (Network.layers net)
+        in
+        Format.printf "%-16s %-6s %8d %8d %7d  %s@." spec.Zoo.name eps (Network.num_neurons net)
+          (Network.num_relus net) params spec.Zoo.description)
+      Zoo.table1
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the model zoo.") Term.(const run $ const ())
+
+(* ---------------- train ---------------- *)
+
+let train_cmd =
+  let run spec cache out =
+    let t0 = Unix.gettimeofday () in
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    Format.printf "%s: %d layers, %d neurons, %d relus; test accuracy %.3f (%.1fs)@."
+      spec.Zoo.name (Network.num_layers net) (Network.num_neurons net) (Network.num_relus net)
+      (Zoo.accuracy spec net)
+      (Unix.gettimeofday () -. t0);
+    match out with
+    | None -> ()
+    | Some path ->
+        Serialize.to_file path net;
+        Format.printf "weights written to %s@." path
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also save weights to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train (or load) a zoo model.")
+    Term.(const run $ model_arg $ cache_arg $ out_arg)
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let run spec cache count budget_calls =
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let setting = setting_for spec budget_calls in
+    let instances = instances_for spec net count in
+    Format.printf "verifying %d properties on %s@." (List.length instances) spec.Zoo.name;
+    let proved = ref 0 and disproved = ref 0 and unknown = ref 0 in
+    List.iter
+      (fun (inst : Workload.instance) ->
+        let t0 = Unix.gettimeofday () in
+        let run =
+          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+            ~budget:setting.Runner.budget ~net ~prop:inst.Workload.prop ()
+        in
+        (match run.Bab.verdict with
+        | Bab.Proved -> incr proved
+        | Bab.Disproved _ -> incr disproved
+        | Bab.Exhausted -> incr unknown);
+        Format.printf "%-28s %-18s calls=%4d tree=%4d %.2fs@." inst.Workload.prop.Ivan_spec.Prop.name
+          (verdict_string run.Bab.verdict) run.Bab.stats.Bab.analyzer_calls
+          run.Bab.stats.Bab.tree_size
+          (Unix.gettimeofday () -. t0))
+      instances;
+    Format.printf "summary: %d verified, %d counterexamples, %d unknown@." !proved !disproved
+      !unknown
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify properties of a zoo model from scratch.")
+    Term.(const run $ model_arg $ cache_arg $ instances_arg 10 $ budget_arg)
+
+(* ---------------- incremental ---------------- *)
+
+let incremental_cmd =
+  let run spec cache update count budget_calls alpha theta =
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let updated = apply_update update net in
+    let setting = setting_for spec budget_calls in
+    let instances = instances_for spec net count in
+    Format.printf "incremental verification of %s under the %s update (%d instances)@."
+      spec.Zoo.name (update_name update) (List.length instances);
+    let comparisons =
+      Runner.run_all setting ~net ~updated
+        ~techniques:[ Ivan.Reuse; Ivan.Reorder; Ivan.Full ]
+        ~alpha ~theta instances
+    in
+    List.iter
+      (fun (c : Runner.comparison) ->
+        let ivan = Report.technique_measurement c Ivan.Full in
+        Format.printf "%-28s base %-14s %4d calls %.2fs | ivan %-14s %4d calls %.2fs@."
+          c.Runner.instance.Workload.prop.Ivan_spec.Prop.name
+          (verdict_string c.Runner.baseline.Runner.verdict)
+          c.Runner.baseline.Runner.calls c.Runner.baseline.Runner.seconds
+          (verdict_string ivan.Runner.verdict) ivan.Runner.calls ivan.Runner.seconds)
+      comparisons;
+    List.iter
+      (fun technique ->
+        let s = Report.summarize comparisons technique in
+        Format.printf "%-14s overall speedup: time %.2fx  calls %.2fx  (+%d solved)@."
+          (Ivan.technique_name technique) s.Report.sp_time s.Report.sp_calls s.Report.plus_solved)
+      [ Ivan.Reuse; Ivan.Reorder; Ivan.Full ]
+  in
+  let alpha_arg =
+    Arg.(value & opt float Experiments.alpha_default & info [ "alpha" ] ~doc:"H_delta mixing weight.")
+  in
+  let theta_arg =
+    Arg.(value & opt float Experiments.theta_default & info [ "theta" ] ~doc:"Pruning threshold.")
+  in
+  Cmd.v
+    (Cmd.info "incremental" ~doc:"Compare baseline vs. IVAN on a network update.")
+    Term.(
+      const run $ model_arg $ cache_arg $ update_arg $ instances_arg 10 $ budget_arg $ alpha_arg
+      $ theta_arg)
+
+(* ---------------- prove / reverify: persistent proofs ---------------- *)
+
+module Proof = Ivan_core.Proof
+
+let index_arg =
+  let doc = "Instance index within the model's property suite." in
+  Arg.(value & opt int 0 & info [ "i"; "index" ] ~docv:"I" ~doc)
+
+let nth_instance spec net index =
+  let instances = instances_for spec net (index + 1) in
+  match List.nth_opt instances index with
+  | Some inst -> inst
+  | None -> failwith (Printf.sprintf "no instance with index %d" index)
+
+let prove_cmd =
+  let run spec cache index budget_calls out =
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let setting = setting_for spec budget_calls in
+    let inst = nth_instance spec net index in
+    let prop = inst.Workload.prop in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+        ~budget:setting.Runner.budget ~net ~prop ()
+    in
+    Format.printf "%s: %s in %d analyzer calls (%.2fs), tree %d nodes@." prop.Ivan_spec.Prop.name
+      (verdict_string result.Bab.verdict)
+      result.Bab.stats.Bab.analyzer_calls
+      (Unix.gettimeofday () -. t0)
+      result.Bab.stats.Bab.tree_size;
+    Proof.to_file out (Proof.of_run ~prop result);
+    Format.printf "proof written to %s@." out
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to store the proof.")
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Verify one property and persist its proof tree.")
+    Term.(const run $ model_arg $ cache_arg $ index_arg $ budget_arg $ out_arg)
+
+let reverify_cmd =
+  let run spec cache update index budget_calls proof_path =
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let updated = apply_update update net in
+    let setting = setting_for spec budget_calls in
+    let inst = nth_instance spec net index in
+    let prop = inst.Workload.prop in
+    let proof = Proof.of_file proof_path in
+    if proof.Proof.property_name <> prop.Ivan_spec.Prop.name then
+      Format.printf "warning: proof was recorded for %S, reverifying %S@."
+        proof.Proof.property_name prop.Ivan_spec.Prop.name;
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Ivan.verify_updated_with_tree ~analyzer:setting.Runner.analyzer
+        ~heuristic:setting.Runner.heuristic
+        ~config:{ Ivan.default_config with budget = setting.Runner.budget }
+        ~original_tree:proof.Proof.tree ~updated ~prop
+    in
+    Format.printf "%s (%s): %s in %d analyzer calls (%.2fs; original proof took %d calls)@."
+      prop.Ivan_spec.Prop.name (update_name update)
+      (verdict_string result.Bab.verdict)
+      result.Bab.stats.Bab.analyzer_calls
+      (Unix.gettimeofday () -. t0)
+      proof.Proof.analyzer_calls
+  in
+  let proof_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"FILE" ~doc:"Proof produced by the prove subcommand.")
+  in
+  Cmd.v
+    (Cmd.info "reverify"
+       ~doc:"Incrementally re-verify a property on an updated network from a stored proof.")
+    Term.(const run $ model_arg $ cache_arg $ update_arg $ index_arg $ budget_arg $ proof_arg)
+
+(* ---------------- diff: differential verification ---------------- *)
+
+let diff_cmd =
+  let run spec cache update index delta budget_calls =
+    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let updated = apply_update update net in
+    let inst = nth_instance spec net index in
+    let box = inst.Workload.prop.Ivan_spec.Prop.input in
+    (* Level 1: one-shot zonotope differential bound. *)
+    (match Ivan_domains.Diff.output_difference net updated ~box with
+    | None -> Format.printf "region empty@."
+    | Some { Ivan_domains.Diff.lo; hi } ->
+        let worst =
+          Array.fold_left Float.max 0.0
+            (Array.mapi (fun i l -> Float.max (Float.abs l) (Float.abs hi.(i))) lo)
+        in
+        Format.printf "zonotope bound: max |output drift| <= %.5f over the region@." worst);
+    (* Level 2: complete differential verification. *)
+    let analyzer = Ivan_analyzer.Analyzer.lp_triangle () in
+    let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
+    let proof =
+      Ivan_core.Diffverify.verify ~analyzer ~heuristic:Ivan_bab.Heuristic.zono_coeff ~budget net
+        updated ~box ~delta
+    in
+    match proof.Ivan_core.Diffverify.verdict with
+    | Ivan_core.Diffverify.Equivalent ->
+        Format.printf "complete: outputs within %.4g everywhere (%d analyzer calls)@." delta
+          proof.Ivan_core.Diffverify.total_calls
+    | Ivan_core.Diffverify.Deviation x ->
+        let d = Vec.norm_inf (Vec.sub (Network.forward net x) (Network.forward updated x)) in
+        Format.printf "deviation found: an input drifts by %.4g (> %.4g)@." d delta
+    | Ivan_core.Diffverify.Unknown ->
+        Format.printf "inconclusive within the budget (%d analyzer calls)@."
+          proof.Ivan_core.Diffverify.total_calls
+  in
+  let delta_arg =
+    Arg.(value & opt float 0.5 & info [ "delta" ] ~docv:"D" ~doc:"Allowed output drift.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Differentially verify that a quantized variant stays within delta of the original.")
+    Term.(const run $ model_arg $ cache_arg $ update_arg $ index_arg $ delta_arg $ budget_arg)
+
+(* ---------------- check: network file + VNN-LIB property ---------------- *)
+
+let check_cmd =
+  let run net_path prop_path budget_calls input_split =
+    let net = Serialize.of_file net_path in
+    let prop = Ivan_spec.Vnnlib.parse_file prop_path in
+    let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 120.0 } in
+    let analyzer, heuristic =
+      if input_split then (Ivan_analyzer.Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
+      else (Ivan_analyzer.Analyzer.lp_triangle (), Ivan_bab.Heuristic.zono_coeff)
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Bab.verify ~analyzer ~heuristic ~budget ~net ~prop () in
+    (match result.Bab.verdict with
+    | Bab.Proved -> Format.printf "holds@."
+    | Bab.Disproved x ->
+        Format.printf "violated@.counterexample:";
+        Array.iter (fun v -> Format.printf " %.17g" v) x;
+        Format.printf "@."
+    | Bab.Exhausted -> Format.printf "unknown@.");
+    Format.printf "(%d analyzer calls, %d splits, %.2fs)@." result.Bab.stats.Bab.analyzer_calls
+      result.Bab.stats.Bab.branchings
+      (Unix.gettimeofday () -. t0)
+  in
+  let net_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "net" ] ~docv:"FILE" ~doc:"Network weights (the serializer's text format).")
+  in
+  let prop_arg =
+    Arg.(
+      required & opt (some file) None & info [ "prop" ] ~docv:"FILE" ~doc:"VNN-LIB property file.")
+  in
+  let input_split_arg =
+    Arg.(value & flag & info [ "input-split" ] ~doc:"Branch on input dimensions instead of ReLUs.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
+    Term.(const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let experiments =
+    [
+      ("table1", Experiments.table1);
+      ("fig6", Experiments.fig6);
+      ("fig7", Experiments.fig7);
+      ("table2", Experiments.table2);
+      ("fig8", Experiments.fig8);
+      ("fig9", Experiments.fig9);
+      ("table3", Experiments.table3);
+      ("table4", Experiments.table4);
+      ("theorem4", Experiments.theorem4);
+      ("milp-warmstart", Experiments.milp_warmstart);
+      ("heuristics", Experiments.ablation_heuristics);
+      ("all", Experiments.run_all);
+    ]
+  in
+  let id_arg =
+    let doc =
+      "Experiment id: table1, fig6, fig7, table2, fig8, fig9, table3, table4, theorem4, \
+       milp-warmstart, heuristics, all."
+    in
+    Arg.(required & pos 0 (some (enum experiments)) None & info [] ~docv:"ID" ~doc)
+  in
+  let scale_arg =
+    let doc = "Workload scale." in
+    Arg.(
+      value
+      & opt (enum [ ("quick", Experiments.quick); ("full", Experiments.full) ]) Experiments.quick
+      & info [ "scale" ] ~docv:"SCALE" ~doc)
+  in
+  let run experiment scale cache =
+    let ctx = Experiments.create ?cache_dir:cache scale in
+    experiment ctx Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
+    Term.(const run $ id_arg $ scale_arg $ cache_arg)
+
+let () =
+  let info =
+    Cmd.info "ivan" ~version:"1.0.0"
+      ~doc:"Incremental verification of neural networks (PLDI 2023 reproduction)."
+  in
+  let group = Cmd.group info
+      [
+        zoo_cmd;
+        train_cmd;
+        verify_cmd;
+        incremental_cmd;
+        prove_cmd;
+        reverify_cmd;
+        diff_cmd;
+        check_cmd;
+        experiment_cmd;
+      ] in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/acasxu_global.ml: Format Ivan_analyzer Ivan_bab Ivan_core Ivan_data Ivan_nn Ivan_spec Ivan_tensor List

@@ -1,0 +1,1 @@
+examples/acasxu_global.mli:

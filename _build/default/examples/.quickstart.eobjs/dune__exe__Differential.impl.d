@@ -1,0 +1,1 @@
+examples/differential.ml: Array Float Format Ivan_analyzer Ivan_bab Ivan_core Ivan_data Ivan_domains Ivan_nn Ivan_spec Ivan_tensor Unix

@@ -1,0 +1,1 @@
+examples/model_repair.ml: Array Float Format Ivan_bab Ivan_core Ivan_data Ivan_harness Ivan_nn Ivan_spec Ivan_tensor Ivan_train List Printf

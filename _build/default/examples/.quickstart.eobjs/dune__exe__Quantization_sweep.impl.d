@@ -1,0 +1,1 @@
+examples/quantization_sweep.ml: Format Ivan_bab Ivan_core Ivan_data Ivan_harness Ivan_nn List

@@ -1,0 +1,1 @@
+examples/quantization_sweep.mli:

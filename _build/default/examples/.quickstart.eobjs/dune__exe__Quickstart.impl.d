@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ivan_analyzer Ivan_bab Ivan_core Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor

@@ -1,0 +1,1 @@
+examples/smooth_activations.ml: Array Format Ivan_analyzer Ivan_bab Ivan_core Ivan_domains Ivan_nn Ivan_spec Ivan_tensor Ivan_train

@@ -1,0 +1,1 @@
+examples/smooth_activations.mli:

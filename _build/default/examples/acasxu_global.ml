@@ -1,0 +1,57 @@
+(* ACAS-XU global properties with input splitting (paper §6.4).
+
+   Global safety properties over whole regions of the encounter space —
+   "distant traffic must stay clear-of-conflict", "close head-on
+   traffic must trigger an advisory" — are proved by splitting the
+   5-dimensional input box, with the zonotope analyzer doing the
+   bounding (the RefineZono-style stack).  After int16 quantization the
+   properties are re-proved incrementally.
+
+   Run with:  dune exec examples/acasxu_global.exe *)
+
+module Rng = Ivan_tensor.Rng
+module Quant = Ivan_nn.Quant
+module Prop = Ivan_spec.Prop
+module Analyzer = Ivan_analyzer.Analyzer
+module Heuristic = Ivan_bab.Heuristic
+module Bab = Ivan_bab.Bab
+module Ivan = Ivan_core.Ivan
+module Zoo = Ivan_data.Zoo
+module Acas = Ivan_data.Acas
+
+let () =
+  Format.printf "training (or loading) the 6x50 ACAS-XU surrogate...@.";
+  let net = Zoo.load_or_train Zoo.acas in
+  Format.printf "advisory accuracy on held-out states: %.3f@.@." (Zoo.accuracy Zoo.acas net);
+  let props = Acas.properties ~net ~margin:0.15 ~rng:(Rng.create 333) in
+  let analyzer = Analyzer.zonotope () in
+  let heuristic = Heuristic.input_smear in
+  let budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 } in
+  let updated = Quant.network Quant.Int16 net in
+  Format.printf "%-24s | %-9s %6s %6s | %-9s %6s | %7s@." "property" "original" "calls" "splits"
+    "quantized" "calls" "speedup";
+  List.iter
+    (fun prop ->
+      let original = Bab.verify ~analyzer ~heuristic ~budget ~net ~prop () in
+      let baseline = Bab.verify ~analyzer ~heuristic ~budget ~net:updated ~prop () in
+      let incremental =
+        Ivan.verify_updated ~analyzer ~heuristic
+          ~config:{ Ivan.default_config with budget }
+          ~original_run:original ~updated ~prop
+      in
+      let verdict r =
+        match r.Bab.verdict with
+        | Bab.Proved -> "proved"
+        | Bab.Disproved _ -> "falsified"
+        | Bab.Exhausted -> "unknown"
+      in
+      Format.printf "%-24s | %-9s %6d %6d | %-9s %6d | %6.2fx@." prop.Prop.name
+        (verdict original) original.Bab.stats.Bab.analyzer_calls
+        original.Bab.stats.Bab.branchings
+        (verdict incremental) incremental.Bab.stats.Bab.analyzer_calls
+        (float_of_int baseline.Bab.stats.Bab.analyzer_calls
+        /. float_of_int incremental.Bab.stats.Bab.analyzer_calls))
+    props;
+  Format.printf
+    "@.Input splitting handles the low-dimensional ACAS inputs; the reused@.\
+     (pruned) specification tree lets IVAN skip re-deriving the splits.@."

@@ -1,0 +1,1 @@
+lib/analyzer/analyzer.ml: Array Float Ivan_domains Ivan_lp Ivan_nn Ivan_spec Ivan_tensor List

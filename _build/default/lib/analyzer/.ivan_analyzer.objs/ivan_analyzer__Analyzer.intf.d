@@ -1,0 +1,1 @@
+lib/analyzer/analyzer.mli: Ivan_domains Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,1 @@
+lib/analyzer/attack.ml: Analyzer Float Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,1 @@
+lib/analyzer/attack.mli: Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,95 @@
+(** Sound analyzers (Definition 5).
+
+    An analyzer bounds the property objective [c . N(x) + offset] over a
+    subproblem — an input box plus ReLU split assumptions — and returns
+    [Verified], a concrete [Counterexample], or [Unknown].  Soundness:
+    [Verified] implies the property holds on the subproblem;
+    [Counterexample x] implies [x] lies in the property's input region
+    and concretely violates [psi].
+
+    Three analyzers are provided:
+    - {!lp_triangle}: DeepPoly bounds + LP with the triangle relaxation —
+      the paper's baseline for ReLU-splitting BaB [Bunel et al. 2020;
+      Ehlers 2017], with GUROBI replaced by {!Ivan_lp.Lp}.
+    - {!zonotope}: DeepZ affine forms — the bounding engine of the
+      RefineZono-style input-splitting baseline (paper §6.4).
+    - {!interval}: plain box propagation, mainly for tests. *)
+
+type status = Verified | Counterexample of Ivan_tensor.Vec.t | Unknown
+
+type outcome = {
+  status : status;
+  lb : float;
+      (** lower bound on the objective; [+inf] for a vacuously verified
+          (empty) subproblem *)
+  bounds : Ivan_domains.Bounds.t option;
+      (** per-neuron bounds, absent when the subproblem region is empty *)
+  zono : Ivan_domains.Zonotope.analysis option;
+      (** zonotope run used for branching scores, when available *)
+}
+
+type t = {
+  name : string;
+  run :
+    Ivan_nn.Network.t ->
+    prop:Ivan_spec.Prop.t ->
+    box:Ivan_spec.Box.t ->
+    splits:Ivan_domains.Splits.t ->
+    outcome;
+}
+(** [box] is the subproblem's input region (equal to [prop.input] under
+    ReLU splitting; a sub-box under input splitting). *)
+
+val lp_triangle : ?deeppoly_shortcut:bool -> unit -> t
+(** The LP analyzer.  When [deeppoly_shortcut] is true (default), a
+    subproblem already proved by the DeepPoly pass skips the LP solve;
+    the returned [lb] is then DeepPoly's.  Each [run] also performs a
+    zonotope pass so branching heuristics can score ReLUs. *)
+
+val zonotope : unit -> t
+
+val interval : unit -> t
+
+val check_concrete :
+  Ivan_nn.Network.t -> prop:Ivan_spec.Prop.t -> Ivan_tensor.Vec.t -> bool
+(** [check_concrete net ~prop x] is true when [x] is a genuine
+    counterexample: inside the property's input region and violating
+    [psi] on the concrete network. *)
+
+(** {2 Exact MILP verification}
+
+    The "one-shot" alternative to BaB: a big-M indicator encoding of
+    every ambiguous ReLU solved by {!Ivan_lp.Milp}.  Used as an exact
+    oracle in tests and to reproduce the paper's §7 observation that
+    MILP warm-starting yields insignificant incremental speedup.
+    Supports plain-ReLU networks only. *)
+
+type milp_outcome = {
+  milp_status : status;
+  milp_lb : float;
+      (** the exact objective minimum when a violating point exists;
+          otherwise the cutoff that nothing beat (0 for a plain verified
+          run) *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+  lp_solves : int;
+  witness : Ivan_tensor.Vec.t option;  (** minimizing input, if found *)
+}
+
+val milp_verify :
+  ?max_nodes:int ->
+  ?incumbent:float ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  box:Ivan_spec.Box.t ->
+  splits:Ivan_domains.Splits.t ->
+  milp_outcome
+(** The search always prunes branches that cannot push the objective
+    below 0 (they cannot yield counterexamples).  [incumbent] — a known
+    achievable margin, e.g. of the previous network's minimizing input
+    evaluated on this network — tightens the cutoff further when
+    negative; this is MILP warm starting, and exactly as the paper's §7
+    observes, it cannot help on instances that end up verified.
+    @raise Invalid_argument on leaky-ReLU networks. *)
+
+val milp_exact : ?max_nodes:int -> unit -> t
+(** {!milp_verify} wrapped as an analyzer: complete in one call. *)

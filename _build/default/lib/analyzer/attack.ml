@@ -1,0 +1,57 @@
+module Vec = Ivan_tensor.Vec
+module Rng = Ivan_tensor.Rng
+module Network = Ivan_nn.Network
+module Grad = Ivan_nn.Grad
+module Box = Ivan_spec.Box
+module Prop = Ivan_spec.Prop
+
+let default_steps = 40
+
+let default_restarts = 5
+
+let descend ~steps ~step_size net ~prop start =
+  let box = prop.Prop.input in
+  let x = ref (Vec.copy start) in
+  let best = ref (Prop.margin prop (Network.forward net !x)) in
+  let best_x = ref (Vec.copy !x) in
+  for _ = 1 to steps do
+    (* Signed step (FGSM-style) is robust to gradient magnitude. *)
+    let g = Grad.objective_gradient net ~c:prop.Prop.c !x in
+    let next =
+      Box.clamp box
+        (Vec.map2
+           (fun xi gi ->
+             if gi > 0.0 then xi -. step_size else if gi < 0.0 then xi +. step_size else xi)
+           !x g)
+    in
+    x := next;
+    let margin = Prop.margin prop (Network.forward net !x) in
+    if margin < !best then begin
+      best := margin;
+      best_x := Vec.copy !x
+    end
+  done;
+  (!best, !best_x)
+
+let run ?(steps = default_steps) ?(restarts = default_restarts) ?step_size ~rng net ~prop =
+  let box = prop.Prop.input in
+  let step_size =
+    match step_size with Some s -> s | None -> Float.max 1e-6 (Box.max_width box /. 10.0)
+  in
+  let best = ref infinity and best_x = ref (Box.center box) in
+  for attempt = 1 to max 1 restarts do
+    let start = if attempt = 1 then Box.center box else Box.sample ~rng box in
+    let margin, x = descend ~steps ~step_size net ~prop start in
+    if margin < !best then begin
+      best := margin;
+      best_x := x
+    end
+  done;
+  (!best, !best_x)
+
+let best_margin ?steps ?restarts ?step_size ~rng net ~prop =
+  run ?steps ?restarts ?step_size ~rng net ~prop
+
+let pgd ?steps ?restarts ?step_size ~rng net ~prop =
+  let margin, x = run ?steps ?restarts ?step_size ~rng net ~prop in
+  if margin < 0.0 && Analyzer.check_concrete net ~prop x then Some x else None

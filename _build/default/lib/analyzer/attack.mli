@@ -1,0 +1,32 @@
+(** Gradient-guided falsification (projected gradient descent).
+
+    A cheap complement to complete verification: search the property's
+    input region for a concrete counterexample by descending the
+    objective margin [c . N(x) + d], projecting back onto the box after
+    every step.  Finding one settles the instance without any BaB; not
+    finding one proves nothing. *)
+
+val pgd :
+  ?steps:int ->
+  ?restarts:int ->
+  ?step_size:float ->
+  rng:Ivan_tensor.Rng.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_tensor.Vec.t option
+(** [pgd ~rng net ~prop] returns a genuine counterexample (checked with
+    {!Analyzer.check_concrete}) or [None].  Defaults: 40 steps, 5
+    restarts, step size of 1/10th of the widest box dimension.  The
+    first restart starts from the box centre, the rest from uniform
+    samples. *)
+
+val best_margin :
+  ?steps:int ->
+  ?restarts:int ->
+  ?step_size:float ->
+  rng:Ivan_tensor.Rng.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  float * Ivan_tensor.Vec.t
+(** The lowest margin found and its input — an upper bound on the true
+    minimum margin, useful as a MILP warm-start incumbent. *)

@@ -1,0 +1,1 @@
+lib/bab/bab.ml: Heuristic Ivan_analyzer Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List Queue Unix

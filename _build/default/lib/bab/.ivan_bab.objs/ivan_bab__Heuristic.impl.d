@@ -1,0 +1,1 @@
+lib/bab/heuristic.ml: Array Float Hashtbl Ivan_analyzer Ivan_domains Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List Printf

@@ -1,0 +1,1 @@
+lib/bab/heuristic.mli: Ivan_analyzer Ivan_domains Ivan_nn Ivan_spec Ivan_spectree

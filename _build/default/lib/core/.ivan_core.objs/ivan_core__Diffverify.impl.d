@@ -1,0 +1,1 @@
+lib/core/diffverify.ml: Array Ivan Ivan_bab Ivan_nn Ivan_spec Ivan_tensor List Printf

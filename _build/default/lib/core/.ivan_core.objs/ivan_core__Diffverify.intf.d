@@ -1,0 +1,1 @@
+lib/core/diffverify.mli: Ivan Ivan_analyzer Ivan_bab Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,1 @@
+lib/core/effectiveness.ml: Float Ivan_spectree Map

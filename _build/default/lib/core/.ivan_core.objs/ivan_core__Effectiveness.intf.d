@@ -1,0 +1,1 @@
+lib/core/effectiveness.mli: Ivan_spectree

@@ -1,0 +1,1 @@
+lib/core/hdelta.ml: Effectiveness Float Ivan_bab List Printf

@@ -1,0 +1,1 @@
+lib/core/hdelta.mli: Effectiveness Ivan_bab

@@ -1,0 +1,1 @@
+lib/core/ivan.ml: Effectiveness Hdelta Ivan_bab Ivan_nn List Prune

@@ -1,0 +1,1 @@
+lib/core/proof.ml: Fun In_channel Ivan_bab Ivan_spec Ivan_spectree Printf String

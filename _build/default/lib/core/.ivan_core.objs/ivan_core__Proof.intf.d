@@ -1,0 +1,1 @@
+lib/core/proof.mli: Ivan_bab Ivan_spec Ivan_spectree

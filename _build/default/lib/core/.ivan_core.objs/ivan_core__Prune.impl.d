@@ -1,0 +1,1 @@
+lib/core/prune.ml: Effectiveness Float Ivan_spectree Queue

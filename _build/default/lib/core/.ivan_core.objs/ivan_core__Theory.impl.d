@@ -1,0 +1,1 @@
+lib/core/theory.ml: Array Float Ivan_analyzer Ivan_domains Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List

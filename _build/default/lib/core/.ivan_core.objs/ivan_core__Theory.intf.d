@@ -1,0 +1,1 @@
+lib/core/theory.mli: Ivan_analyzer Ivan_nn Ivan_spec Ivan_spectree

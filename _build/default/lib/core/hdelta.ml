@@ -1,0 +1,22 @@
+module Heuristic = Ivan_bab.Heuristic
+
+let make ~base ~observed ~alpha ~theta =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Hdelta.make: alpha must be in [0, 1]";
+  let obs_norm = Effectiveness.max_abs_score observed in
+  let scores ctx =
+    let raw = base.Heuristic.scores ctx in
+    let base_norm =
+      List.fold_left (fun acc (_, s) -> Float.max acc (Float.abs s)) 0.0 raw
+    in
+    let normalize norm s = if norm > 0.0 then s /. norm else s in
+    List.map
+      (fun (d, s) ->
+        let observed_term =
+          match Effectiveness.score observed d with
+          | None -> 0.0
+          | Some h_obs -> normalize obs_norm h_obs -. theta
+        in
+        (d, (alpha *. normalize base_norm s) +. ((1.0 -. alpha) *. observed_term)))
+      raw
+  in
+  { Heuristic.name = Printf.sprintf "hdelta(%s,a=%g,t=%g)" base.Heuristic.name alpha theta; scores }

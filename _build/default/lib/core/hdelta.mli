@@ -1,0 +1,18 @@
+(** The augmented branching heuristic [H_Delta] (paper Equation 7).
+
+    [H_Delta(n, r) = alpha * H(n, r) + (1 - alpha) * (H_obs(r) - theta)].
+
+    The base heuristic's scores and the observed scores live on
+    different scales (zonotope coefficients vs. LB improvements), so
+    both are normalized to at most 1 in magnitude — base scores within
+    each node's candidate list, observed scores over the whole table —
+    before mixing.  Decisions that were never observed keep a neutral
+    observed term of 0 (neither boosted nor penalized). *)
+
+val make :
+  base:Ivan_bab.Heuristic.t ->
+  observed:Effectiveness.table ->
+  alpha:float ->
+  theta:float ->
+  Ivan_bab.Heuristic.t
+(** @raise Invalid_argument unless [0 <= alpha <= 1]. *)

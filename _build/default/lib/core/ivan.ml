@@ -1,0 +1,66 @@
+module Network = Ivan_nn.Network
+module Bab = Ivan_bab.Bab
+
+type technique = Baseline | Reuse | Reorder | Full
+
+let technique_name = function
+  | Baseline -> "baseline"
+  | Reuse -> "reuse"
+  | Reorder -> "reorder"
+  | Full -> "ivan"
+
+type config = { technique : technique; alpha : float; theta : float; budget : Bab.budget }
+
+let default_config =
+  { technique = Full; alpha = 0.25; theta = 0.01; budget = Bab.default_budget }
+
+let verify_original ~analyzer ~heuristic ?(budget = Bab.default_budget) ~net ~prop () =
+  Bab.verify ~analyzer ~heuristic ~budget ~net ~prop ()
+
+let verify_updated_with_tree ~analyzer ~heuristic ~config ~original_tree ~updated ~prop =
+  let hdelta () =
+    let observed = Effectiveness.observe original_tree in
+    Hdelta.make ~base:heuristic ~observed ~alpha:config.alpha ~theta:config.theta
+  in
+  match config.technique with
+  | Baseline ->
+      Bab.verify ~analyzer ~heuristic ~budget:config.budget ~net:updated ~prop ()
+  | Reuse ->
+      Bab.verify ~analyzer ~heuristic ~budget:config.budget ~initial_tree:original_tree
+        ~net:updated ~prop ()
+  | Reorder ->
+      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~budget:config.budget ~net:updated ~prop ()
+  | Full ->
+      let pruned = Prune.prune ~theta:config.theta original_tree in
+      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~budget:config.budget ~initial_tree:pruned
+        ~net:updated ~prop ()
+
+let verify_updated ~analyzer ~heuristic ~config ~original_run ~updated ~prop =
+  verify_updated_with_tree ~analyzer ~heuristic ~config ~original_tree:original_run.Bab.tree
+    ~updated ~prop
+
+type result = { original : Bab.run; updated : Bab.run }
+
+let verify_incremental ~analyzer ~heuristic ?(config = default_config) ~net ~updated ~prop () =
+  if not (Network.same_architecture net updated) then
+    invalid_arg "Ivan.verify_incremental: networks must share an architecture";
+  let original = verify_original ~analyzer ~heuristic ~budget:config.budget ~net ~prop () in
+  let updated_run = verify_updated ~analyzer ~heuristic ~config ~original_run:original ~updated ~prop in
+  { original; updated = updated_run }
+
+let verify_chain ~analyzer ~heuristic ?(config = default_config) ~net ~updates ~prop () =
+  List.iter
+    (fun u ->
+      if not (Network.same_architecture net u) then
+        invalid_arg "Ivan.verify_chain: every update must share the architecture")
+    updates;
+  let original = verify_original ~analyzer ~heuristic ~budget:config.budget ~net ~prop () in
+  let _, reversed_runs =
+    List.fold_left
+      (fun (previous, acc) updated ->
+        let run = verify_updated ~analyzer ~heuristic ~config ~original_run:previous ~updated ~prop in
+        (* The freshest proof seeds the next update in the chain. *)
+        (run, run :: acc))
+      (original, []) updates
+  in
+  (original, List.rev reversed_runs)

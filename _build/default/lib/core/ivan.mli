@@ -1,0 +1,91 @@
+(** The IVAN incremental verification algorithm (paper Algorithm 5).
+
+    Verifying an updated network [N^a] reuses the proof of the same
+    property on the original [N]: the final specification tree of [N]'s
+    run seeds [N^a]'s run ("reuse"), pruned of ineffective splits
+    (Algorithm 4), while the branching heuristic is augmented with the
+    observed split effectiveness ("reorder", Equation 7).  The four
+    techniques of the paper's ablation (Table 2) are selectable. *)
+
+type technique =
+  | Baseline  (** from-scratch BaB on [N^a]: the non-incremental verifier *)
+  | Reuse  (** [T_0 = T_f^N], heuristic unchanged *)
+  | Reorder  (** [T_0] trivial, heuristic [H_Delta] *)
+  | Full  (** [T_0 = pruned T_f^N] and [H_Delta] — the IVAN default *)
+
+val technique_name : technique -> string
+
+type config = {
+  technique : technique;
+  alpha : float;  (** Equation 7 mixing weight *)
+  theta : float;  (** pruning / deprioritization threshold *)
+  budget : Ivan_bab.Bab.budget;
+}
+
+val default_config : config
+(** [Full] with [alpha = 0.25], [theta = 0.01] (the best cell of the
+    paper's Figure 8 sweep) and the default BaB budget. *)
+
+val verify_original :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  ?budget:Ivan_bab.Bab.budget ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  unit ->
+  Ivan_bab.Bab.run
+(** Step 1 of Algorithm 5: plain BaB on [N], producing [T_f^N]. *)
+
+val verify_updated :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  config:config ->
+  original_run:Ivan_bab.Bab.run ->
+  updated:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_bab.Bab.run
+(** Steps 2–4: build [T_0^{N^a}] and [H_Delta] according to the
+    technique, then run the incremental verifier on [N^a].  The
+    original run may be shared across techniques and updates. *)
+
+val verify_updated_with_tree :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  config:config ->
+  original_tree:Ivan_spectree.Tree.t ->
+  updated:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_bab.Bab.run
+(** Same, from a bare specification tree — e.g. one reloaded from a
+    persisted {!Proof.t} in a later session. *)
+
+type result = { original : Ivan_bab.Bab.run; updated : Ivan_bab.Bab.run }
+
+val verify_incremental :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  ?config:config ->
+  net:Ivan_nn.Network.t ->
+  updated:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  unit ->
+  result
+(** The full Algorithm 5 pipeline.
+    @raise Invalid_argument if the two networks differ in architecture
+    (the specification tree is only replayable on the same
+    architecture). *)
+
+val verify_chain :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  ?config:config ->
+  net:Ivan_nn.Network.t ->
+  updates:Ivan_nn.Network.t list ->
+  prop:Ivan_spec.Prop.t ->
+  unit ->
+  Ivan_bab.Bab.run * Ivan_bab.Bab.run list
+(** Deployment-cycle mode: verify [net] once, then each update in order,
+    always seeding from the freshest proof (the previous update's tree),
+    so the proof tracks the drifting network instead of the original.
+    Returns the original run and one run per update.
+    @raise Invalid_argument if any update differs in architecture. *)

@@ -1,0 +1,60 @@
+module Bab = Ivan_bab.Bab
+module Tree = Ivan_spectree.Tree
+
+type verdict = Proved | Disproved | Exhausted
+
+type t = { property_name : string; verdict : verdict; analyzer_calls : int; tree : Tree.t }
+
+let verdict_of_run (run : Bab.run) =
+  match run.Bab.verdict with
+  | Bab.Proved -> Proved
+  | Bab.Disproved _ -> Disproved
+  | Bab.Exhausted -> Exhausted
+
+let of_run ~prop (run : Bab.run) =
+  {
+    property_name = prop.Ivan_spec.Prop.name;
+    verdict = verdict_of_run run;
+    analyzer_calls = run.Bab.stats.Bab.analyzer_calls;
+    tree = Tree.copy run.Bab.tree;
+  }
+
+let verdict_name = function Proved -> "proved" | Disproved -> "disproved" | Exhausted -> "exhausted"
+
+let verdict_of_name = function
+  | "proved" -> Proved
+  | "disproved" -> Disproved
+  | "exhausted" -> Exhausted
+  | s -> failwith (Printf.sprintf "Proof: unknown verdict %S" s)
+
+let to_string p =
+  Printf.sprintf "ivan-proof 1\nproperty: %s\nverdict: %s\ncalls: %d\ntree:\n%s" p.property_name
+    (verdict_name p.verdict) p.analyzer_calls (Tree.to_string p.tree)
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | header :: prop_line :: verdict_line :: calls_line :: tree_marker :: tree_lines ->
+      if String.trim header <> "ivan-proof 1" then
+        failwith "Proof.of_string: missing ivan-proof header";
+      let field prefix line =
+        let line = String.trim line in
+        let plen = String.length prefix in
+        if String.length line < plen || String.sub line 0 plen <> prefix then
+          failwith (Printf.sprintf "Proof.of_string: expected %S line" prefix)
+        else String.trim (String.sub line plen (String.length line - plen))
+      in
+      let property_name = field "property:" prop_line in
+      let verdict = verdict_of_name (field "verdict:" verdict_line) in
+      let analyzer_calls = int_of_string (field "calls:" calls_line) in
+      if String.trim tree_marker <> "tree:" then failwith "Proof.of_string: expected tree marker";
+      let tree = Tree.of_string (String.concat "\n" tree_lines) in
+      { property_name; verdict; analyzer_calls; tree }
+  | _ -> failwith "Proof.of_string: truncated input"
+
+let to_file path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string p))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_string (In_channel.input_all ic))

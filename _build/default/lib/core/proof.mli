@@ -1,0 +1,31 @@
+(** Persistent proofs.
+
+    The deliverable of a verification run that incremental verification
+    consumes later — possibly in another process, after the network has
+    been re-quantized or fine-tuned: the property's identity, the
+    verdict, and the final specification tree with its LB annotations.
+    Stored as a small text format (the tree uses
+    {!Ivan_spectree.Tree.to_string}). *)
+
+type verdict = Proved | Disproved | Exhausted
+
+type t = {
+  property_name : string;
+  verdict : verdict;
+  analyzer_calls : int;
+  tree : Ivan_spectree.Tree.t;
+}
+
+val of_run : prop:Ivan_spec.Prop.t -> Ivan_bab.Bab.run -> t
+
+val verdict_of_run : Ivan_bab.Bab.run -> verdict
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val to_file : string -> t -> unit
+
+val of_file : string -> t
+(** @raise Sys_error / [Failure]. *)

@@ -1,0 +1,46 @@
+module Tree = Ivan_spectree.Tree
+
+let prune ~theta tree =
+  (* Normalize improvements by the tree's largest magnitude so theta is
+     scale-free. *)
+  let max_imp = ref 0.0 in
+  Tree.iter_nodes tree (fun n ->
+      match Effectiveness.improvement n with
+      | Some i -> max_imp := Float.max !max_imp (Float.abs i)
+      | None -> ());
+  let norm = if !max_imp > 0.0 then !max_imp else 1.0 in
+  let bad n =
+    match Effectiveness.improvement n with None -> false | Some i -> i /. norm < theta
+  in
+  let pruned = Tree.create () in
+  Tree.set_lb (Tree.root pruned) (Tree.lb (Tree.root tree));
+  let q = Queue.create () in
+  Queue.add (Tree.root tree, Tree.root pruned) q;
+  while not (Queue.is_empty q) do
+    let n, nhat = Queue.pop q in
+    match (Tree.children n, Tree.decision n) with
+    | None, _ | _, None -> ()
+    | Some (l, r), Some d ->
+        if not (bad n) then begin
+          let hl, hr = Tree.split pruned nhat d in
+          Tree.set_lb hl (Tree.lb l);
+          Tree.set_lb hr (Tree.lb r);
+          Queue.add (l, hl) q;
+          Queue.add (r, hr) q
+        end
+        else begin
+          (* Equation 8: continue from the child whose LB is closest to
+             the parent's (smaller increase); drop the other subtree. *)
+          let delta_l = Tree.lb l -. Tree.lb n and delta_r = Tree.lb r -. Tree.lb n in
+          let nk = if Float.is_nan delta_r || delta_l <= delta_r then l else r in
+          match (Tree.children nk, Tree.decision nk) with
+          | None, _ | _, None -> () (* the kept child is a leaf: nhat stays a leaf *)
+          | Some (kl, kr), Some dk ->
+              let hl, hr = Tree.split pruned nhat dk in
+              Tree.set_lb hl (Tree.lb kl);
+              Tree.set_lb hr (Tree.lb kr);
+              Queue.add (kl, hl) q;
+              Queue.add (kr, hr) q
+        end
+  done;
+  pruned

@@ -1,0 +1,67 @@
+module Vec = Ivan_tensor.Vec
+module Network = Ivan_nn.Network
+module Box = Ivan_spec.Box
+module Prop = Ivan_spec.Prop
+module Bounds = Ivan_domains.Bounds
+module Analyzer = Ivan_analyzer.Analyzer
+module Tree = Ivan_spectree.Tree
+
+let leaf_outcome ~analyzer net ~prop leaf =
+  let box, splits = Tree.subproblem ~root_box:prop.Prop.input leaf in
+  analyzer.Analyzer.run net ~prop ~box ~splits
+
+let fold_leaves ~analyzer net ~prop tree ~init ~f =
+  List.fold_left
+    (fun acc leaf -> f acc (leaf_outcome ~analyzer net ~prop leaf))
+    init (Tree.leaves tree)
+
+let leaf_objective_lb ~analyzer net ~prop tree =
+  fold_leaves ~analyzer net ~prop tree ~init:infinity ~f:(fun acc outcome ->
+      Float.min acc outcome.Analyzer.lb)
+
+(* L2-norm bound of the penultimate layer's post-activations for one
+   leaf, from the analyzer's per-neuron bounds; the input box itself
+   plays that role for single-layer networks. *)
+let leaf_eta net ~prop outcome =
+  let penultimate = Network.num_layers net - 2 in
+  if penultimate < 0 then begin
+    let box = prop.Prop.input in
+    let acc = ref 0.0 in
+    for j = 0 to Box.dim box - 1 do
+      let m = Float.max (Float.abs (Box.lo_at box j)) (Float.abs (Box.hi_at box j)) in
+      acc := !acc +. (m *. m)
+    done;
+    Some (sqrt !acc)
+  end
+  else
+    match outcome.Analyzer.bounds with
+    | None -> None (* vacuous leaf: contributes nothing *)
+    | Some bounds ->
+        let layer = bounds.Bounds.layers.(penultimate) in
+        let acc = ref 0.0 in
+        for j = 0 to Vec.dim layer.Bounds.post_lo - 1 do
+          let m =
+            Float.max (Float.abs layer.Bounds.post_lo.(j)) (Float.abs layer.Bounds.post_hi.(j))
+          in
+          acc := !acc +. (m *. m)
+        done;
+        Some (sqrt !acc)
+
+let eta ~analyzer net ~prop tree =
+  fold_leaves ~analyzer net ~prop tree ~init:0.0 ~f:(fun acc outcome ->
+      match leaf_eta net ~prop outcome with None -> acc | Some v -> Float.max acc v)
+
+let delta_bound ~analyzer net ~prop tree =
+  let lb = leaf_objective_lb ~analyzer net ~prop tree in
+  let e = eta ~analyzer net ~prop tree in
+  let cnorm = Vec.norm2 prop.Prop.c in
+  if e = 0.0 || cnorm = 0.0 || lb = infinity then infinity
+  else Float.abs lb /. (cnorm *. e)
+
+let verified_with_tree ~analyzer net ~prop tree =
+  List.for_all
+    (fun leaf ->
+      match (leaf_outcome ~analyzer net ~prop leaf).Analyzer.status with
+      | Analyzer.Verified -> true
+      | Analyzer.Counterexample _ | Analyzer.Unknown -> false)
+    (Tree.leaves tree)

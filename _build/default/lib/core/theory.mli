@@ -1,0 +1,45 @@
+(** Network perturbation bounds (paper §4.4, Theorem 4).
+
+    For last-layer perturbations with Frobenius norm at most
+    [delta <= |LB(F(N_l, T))| / (||C||_2 * eta(N, T))], proving or
+    disproving the property with specification tree [T] transfers from
+    [N] to the perturbed network.  The quantities are computed with the
+    same analyzer [A] the verifier uses, evaluated on the tree's leaf
+    subproblems: [LB(F(N_l, T))] is the least leaf objective bound, and
+    [eta] bounds the L2 norm of the penultimate layer's activations. *)
+
+val leaf_objective_lb :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_spectree.Tree.t ->
+  float
+(** [min] over leaves of the analyzer's objective lower bound; [+inf]
+    when every leaf region is empty. *)
+
+val eta :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_spectree.Tree.t ->
+  float
+(** [eta(N, T)]: max over leaves of the L2-norm bound on the
+    penultimate layer's output (from the analyzer's per-neuron bounds). *)
+
+val delta_bound :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_spectree.Tree.t ->
+  float
+(** Theorem 4's perturbation budget; [+inf] if the penultimate layer is
+    identically zero or every leaf is vacuous. *)
+
+val verified_with_tree :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  Ivan_spectree.Tree.t ->
+  bool
+(** [V_T(N, T)]: every leaf subproblem is proved by the analyzer without
+    further branching. *)

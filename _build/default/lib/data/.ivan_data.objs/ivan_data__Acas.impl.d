@@ -1,0 +1,1 @@
+lib/data/acas.ml: Array Float Ivan_domains Ivan_nn Ivan_spec Ivan_tensor Ivan_train List Printf

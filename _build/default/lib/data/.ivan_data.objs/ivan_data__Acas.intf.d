@@ -1,0 +1,1 @@
+lib/data/acas.mli: Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,1 @@
+lib/data/synth.ml: Array Float Ivan_tensor

@@ -1,0 +1,1 @@
+lib/data/synth.mli: Ivan_tensor

@@ -1,0 +1,1 @@
+lib/data/zoo.ml: Acas Array Filename Ivan_nn Ivan_tensor Ivan_train List Printf Synth Sys

@@ -1,0 +1,1 @@
+lib/data/zoo.mli: Ivan_nn Ivan_tensor

@@ -1,0 +1,108 @@
+module Vec = Ivan_tensor.Vec
+module Rng = Ivan_tensor.Rng
+module Network = Ivan_nn.Network
+module Builder = Ivan_nn.Builder
+module Sgd = Ivan_train.Sgd
+module Box = Ivan_spec.Box
+module Prop = Ivan_spec.Prop
+
+type advisory = Clear_of_conflict | Weak_left | Strong_left | Weak_right | Strong_right
+
+let advisory_index = function
+  | Clear_of_conflict -> 0
+  | Weak_left -> 1
+  | Strong_left -> 2
+  | Weak_right -> 3
+  | Strong_right -> 4
+
+let num_advisories = 5
+
+let input_dim = 5
+
+(* State: x = (rho, theta, psi, v_own, v_int), all normalized to [0,1].
+   rho: distance to intruder; theta: bearing (0 = far left, 1 = far
+   right, 0.5 = dead ahead); psi: relative heading; v_own / v_int:
+   speeds.  The advisory logic: distant traffic is clear of conflict;
+   close traffic triggers a turn away from the intruder's side, strong
+   when the closing urgency (proximity x speeds x head-on geometry) is
+   high. *)
+let urgency x =
+  let rho = x.(0) and psi = x.(2) and v_own = x.(3) and v_int = x.(4) in
+  let closing = 0.5 *. (v_own +. v_int) in
+  let head_on = 1.0 -. Float.abs (psi -. 0.5) in
+  (1.0 -. rho) *. (0.4 +. (0.6 *. closing)) *. (0.6 +. (0.4 *. head_on))
+
+let oracle x =
+  if Array.length x <> input_dim then invalid_arg "Acas.oracle: expected a 5-dimensional state";
+  let rho = x.(0) and theta = x.(1) in
+  if rho > 0.65 then Clear_of_conflict
+  else begin
+    let u = urgency x in
+    if u < 0.18 then Clear_of_conflict
+    else if theta >= 0.5 then if u > 0.45 then Strong_left else Weak_left
+    else if u > 0.45 then Strong_right
+    else Weak_right
+  end
+
+let dataset ~rng ~count =
+  let inputs = Array.init count (fun _ -> Array.init input_dim (fun _ -> Rng.float rng 1.0)) in
+  let labels = Array.map (fun x -> advisory_index (oracle x)) inputs in
+  (inputs, labels)
+
+let architecture ~rng = Builder.dense_net ~rng ~dims:[ 5; 50; 50; 50; 50; 50; 50; 5 ]
+
+let train ~rng ?(epochs = 40) ?(samples = 2000) () =
+  let net = architecture ~rng in
+  let inputs, labels = dataset ~rng ~count:samples in
+  let config = { Sgd.default_config with epochs; learning_rate = 0.03 } in
+  Sgd.train_classifier ~rng ~config net ~inputs ~labels
+
+let box lo hi = Box.make ~lo:(Vec.of_list lo) ~hi:(Vec.of_list hi)
+
+let property_regions =
+  [
+    (* phi1-style: distant traffic, whole bearing range. *)
+    ("distant", box [ 0.75; 0.0; 0.0; 0.3; 0.3 ] [ 1.0; 1.0; 1.0; 1.0; 1.0 ]);
+    (* phi2-style: close, nearly head-on, fast closure. *)
+    ("head-on", box [ 0.0; 0.45; 0.4; 0.5; 0.5 ] [ 0.25; 0.55; 0.6; 1.0; 1.0 ]);
+    (* phi3-style: close traffic on the left side. *)
+    ("left-crossing", box [ 0.1; 0.55; 0.2; 0.3; 0.3 ] [ 0.4; 0.9; 0.8; 0.9; 0.9 ]);
+    (* phi4-style: close traffic on the right side, slow intruder. *)
+    ("right-crossing", box [ 0.1; 0.1; 0.2; 0.3; 0.1 ] [ 0.4; 0.45; 0.8; 0.9; 0.5 ]);
+  ]
+
+(* Properties bound a chosen output score from above on a region, which
+   in C^T Y + offset >= 0 form is offset = bound, C = -e_i.  The bound
+   is calibrated between a sampled maximum (a lower bound on the true
+   maximum) and the zonotope root upper bound (certified): [margin] in
+   (0, 1] interpolates — small margins give hard, many-split instances;
+   margins near 1 are provable at the root.  This mirrors the varying
+   hardness of the VNN-COMP ACAS-XU suite. *)
+let properties ~net ~margin ~rng =
+  List.map
+    (fun (name, region) ->
+      let target =
+        (* Bound the advisory that should NOT fire in this region:
+           distant traffic must keep strong advisories low; close
+           traffic must keep clear-of-conflict low. *)
+        if name = "distant" then advisory_index Strong_left else advisory_index Clear_of_conflict
+      in
+      let sampled_max = ref neg_infinity in
+      for _ = 1 to 3000 do
+        let x = Box.sample ~rng region in
+        let y = Network.forward net x in
+        sampled_max := Float.max !sampled_max y.(target)
+      done;
+      let certified_max =
+        match Ivan_domains.Zonotope.analyze net ~box:region ~splits:Ivan_domains.Splits.empty with
+        | Ivan_domains.Zonotope.Infeasible -> !sampled_max
+        | Ivan_domains.Zonotope.Feasible a ->
+            let c = Vec.zeros num_advisories in
+            c.(target) <- 1.0;
+            (Ivan_domains.Zonotope.objective_itv a ~c ~offset:0.0).Ivan_domains.Itv.hi
+      in
+      let bound = !sampled_max +. (margin *. (certified_max -. !sampled_max)) in
+      Prop.output_upper
+        ~name:(Printf.sprintf "acas-%s" name)
+        ~input:region ~index:target ~bound ~num_outputs:num_advisories)
+    property_regions

@@ -1,0 +1,70 @@
+module Rng = Ivan_tensor.Rng
+
+type t = {
+  inputs : Ivan_tensor.Vec.t array;
+  labels : int array;
+  num_classes : int;
+  channels : int;
+  side : int;
+}
+
+(* A class prototype: per channel, a smooth sinusoidal luminance field
+   with class-specific frequency and phase. *)
+type prototype = { fx : float array; fy : float array; phase : float array }
+
+let make_prototype rng channels =
+  {
+    fx = Array.init channels (fun _ -> Rng.uniform rng 0.5 2.5);
+    fy = Array.init channels (fun _ -> Rng.uniform rng 0.5 2.5);
+    phase = Array.init channels (fun _ -> Rng.uniform rng 0.0 (2.0 *. Float.pi));
+  }
+
+let prototype_pixel p ~side ~c ~y ~x =
+  let fy = p.fy.(c) and fx = p.fx.(c) and phase = p.phase.(c) in
+  let u = float_of_int x /. float_of_int side and v = float_of_int y /. float_of_int side in
+  0.5 +. (0.35 *. sin ((2.0 *. Float.pi *. ((fx *. u) +. (fy *. v))) +. phase))
+
+let clip01 v = Float.max 0.0 (Float.min 1.0 v)
+
+let generate ~rng ~channels ~side ~num_classes ~count ~noise =
+  if channels <= 0 || side <= 0 || num_classes <= 0 || count <= 0 then
+    invalid_arg "Synth.generate: sizes must be positive";
+  let prototypes = Array.init num_classes (fun _ -> make_prototype rng channels) in
+  let dim = channels * side * side in
+  let inputs = Array.make count [||] in
+  let labels = Array.make count 0 in
+  for i = 0 to count - 1 do
+    let label = i mod num_classes in
+    labels.(i) <- label;
+    let p = prototypes.(label) in
+    inputs.(i) <-
+      Array.init dim (fun flat ->
+          let c = flat / (side * side) in
+          let rem = flat mod (side * side) in
+          let y = rem / side and x = rem mod side in
+          clip01 (prototype_pixel p ~side ~c ~y ~x +. (noise *. Rng.gaussian rng)))
+  done;
+  (* Order stays round-robin by class (balanced); training shuffles per
+     epoch anyway, and a deterministic order keeps prefix/suffix splits
+     disjoint across different [count] values on the same seed. *)
+  { inputs; labels; num_classes; channels; side }
+
+let mnist_like ~rng ~count =
+  generate ~rng ~channels:1 ~side:8 ~num_classes:10 ~count ~noise:0.08
+
+let cifar_like ~rng ~count =
+  generate ~rng ~channels:3 ~side:8 ~num_classes:10 ~count ~noise:0.18
+
+let split t ~train_fraction =
+  if train_fraction <= 0.0 || train_fraction >= 1.0 then
+    invalid_arg "Synth.split: fraction must be in (0, 1)";
+  let count = Array.length t.inputs in
+  let cut = int_of_float (train_fraction *. float_of_int count) in
+  let take lo hi =
+    {
+      t with
+      inputs = Array.sub t.inputs lo (hi - lo);
+      labels = Array.sub t.labels lo (hi - lo);
+    }
+  in
+  (take 0 cut, take cut count)

@@ -1,0 +1,35 @@
+(** Synthetic image classification datasets.
+
+    Substitute for MNIST/CIFAR10: each class is a smooth random
+    luminance pattern; samples add Gaussian pixel noise and clip to
+    [0, 1].  "mnist-like" uses one channel and well-separated classes;
+    "cifar-like" uses three channels and noisier, overlapping classes —
+    mirroring the relative hardness of the paper's datasets. *)
+
+type t = {
+  inputs : Ivan_tensor.Vec.t array;  (** flattened (C, H, W) pixels in [0, 1] *)
+  labels : int array;
+  num_classes : int;
+  channels : int;
+  side : int;
+}
+
+val generate :
+  rng:Ivan_tensor.Rng.t ->
+  channels:int ->
+  side:int ->
+  num_classes:int ->
+  count:int ->
+  noise:float ->
+  t
+(** Balanced dataset of [count] samples.  @raise Invalid_argument on
+    non-positive sizes. *)
+
+val mnist_like : rng:Ivan_tensor.Rng.t -> count:int -> t
+(** 1 x 8 x 8, 10 classes, mild noise. *)
+
+val cifar_like : rng:Ivan_tensor.Rng.t -> count:int -> t
+(** 3 x 8 x 8, 10 classes, heavier noise. *)
+
+val split : t -> train_fraction:float -> t * t
+(** Deterministic prefix split (the data is already shuffled). *)

@@ -1,0 +1,1 @@
+lib/domains/bounds.ml: Array Itv Ivan_nn Ivan_tensor Splits

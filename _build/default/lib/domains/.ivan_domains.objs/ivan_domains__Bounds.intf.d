@@ -1,0 +1,1 @@
+lib/domains/bounds.mli: Itv Ivan_nn Ivan_tensor Splits

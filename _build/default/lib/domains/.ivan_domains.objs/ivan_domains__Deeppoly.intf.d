@@ -1,0 +1,1 @@
+lib/domains/deeppoly.mli: Bounds Itv Ivan_nn Ivan_spec Ivan_tensor Splits

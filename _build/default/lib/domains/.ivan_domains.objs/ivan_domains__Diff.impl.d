@@ -1,0 +1,1 @@
+lib/domains/diff.ml: Array Float Ivan_nn Ivan_spec Ivan_tensor Queue Splits Zonotope

@@ -1,0 +1,1 @@
+lib/domains/diff.mli: Ivan_nn Ivan_spec Ivan_tensor

@@ -1,0 +1,1 @@
+lib/domains/interval_dom.ml: Array Bounds Float Ivan_nn Ivan_spec Ivan_tensor Splits

@@ -1,0 +1,1 @@
+lib/domains/interval_dom.mli: Bounds Ivan_nn Ivan_spec Splits

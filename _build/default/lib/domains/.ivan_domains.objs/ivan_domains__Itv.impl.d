@@ -1,0 +1,1 @@
+lib/domains/itv.ml: Float Format

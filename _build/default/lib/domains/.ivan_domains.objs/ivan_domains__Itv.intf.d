@@ -1,0 +1,1 @@
+lib/domains/itv.mli: Format

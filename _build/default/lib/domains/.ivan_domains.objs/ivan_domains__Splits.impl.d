@@ -1,0 +1,1 @@
+lib/domains/splits.ml: Format Ivan_nn List Printf

@@ -1,0 +1,1 @@
+lib/domains/splits.mli: Format Ivan_nn

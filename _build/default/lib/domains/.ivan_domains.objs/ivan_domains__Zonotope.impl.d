@@ -1,0 +1,1 @@
+lib/domains/zonotope.ml: Array Bounds Float Itv Ivan_nn Ivan_spec Ivan_tensor Splits

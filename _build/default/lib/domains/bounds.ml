@@ -1,0 +1,39 @@
+module Vec = Ivan_tensor.Vec
+module Network = Ivan_nn.Network
+module Layer = Ivan_nn.Layer
+module Relu_id = Ivan_nn.Relu_id
+
+type layer = { pre_lo : Vec.t; pre_hi : Vec.t; post_lo : Vec.t; post_hi : Vec.t }
+
+type t = { layers : layer array }
+
+let output_lo t = t.layers.(Array.length t.layers - 1).post_lo
+
+let output_hi t = t.layers.(Array.length t.layers - 1).post_hi
+
+let pre_itv t (r : Relu_id.t) =
+  let layer = t.layers.(r.layer) in
+  Itv.make layer.pre_lo.(r.index) layer.pre_hi.(r.index)
+
+let ambiguous_relus t net ~splits =
+  let acc = ref [] in
+  let layers = Network.layers net in
+  for li = Array.length layers - 1 downto 0 do
+    match Layer.negative_slope (Layer.activation layers.(li)) with
+    | None -> ()
+    | Some _ ->
+        let lb = t.layers.(li).pre_lo and ub = t.layers.(li).pre_hi in
+        for idx = Vec.dim lb - 1 downto 0 do
+          let r = Relu_id.make ~layer:li ~index:idx in
+          if lb.(idx) < 0.0 && ub.(idx) > 0.0 && not (Splits.mem r splits) then acc := r :: !acc
+        done
+  done;
+  !acc
+
+let objective_itv t ~c ~offset =
+  let lo = output_lo t and hi = output_hi t in
+  let acc = ref (Itv.point offset) in
+  for i = 0 to Vec.dim c - 1 do
+    acc := Itv.add_scaled !acc c.(i) (Itv.make lo.(i) hi.(i))
+  done;
+  !acc

@@ -1,0 +1,24 @@
+(** DeepPoly-style polyhedral abstract interpreter.
+
+    Every neuron carries one symbolic lower and one symbolic upper
+    linear bound over the previous layer; concrete bounds are obtained
+    by back-substituting these expressions down to the input box (Singh
+    et al. POPL 2019).  Split assumptions fix ReLU phases exactly.
+
+    This is the bound engine behind the LP analyzer: the triangle
+    relaxation needs tight pre-activation intervals for every ambiguous
+    ReLU. *)
+
+type analysis
+
+type result = Feasible of analysis | Infeasible
+
+val analyze : Ivan_nn.Network.t -> box:Ivan_spec.Box.t -> splits:Splits.t -> result
+(** @raise Invalid_argument on box/network dimension mismatch. *)
+
+val bounds : analysis -> Bounds.t
+
+val objective_itv : analysis -> c:Ivan_tensor.Vec.t -> offset:float -> Itv.t
+(** Bound on [c . Y + offset] obtained by back-substituting the
+    objective through the whole network — tighter than combining
+    per-output interval bounds. *)

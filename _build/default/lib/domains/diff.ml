@@ -1,0 +1,91 @@
+module Vec = Ivan_tensor.Vec
+module Network = Ivan_nn.Network
+module Box = Ivan_spec.Box
+
+type bound = { lo : Vec.t; hi : Vec.t }
+
+(* The first [Box.dim box] noise symbols of a zonotope analysis are the
+   input symbols, identical across analyses of the same box; all later
+   symbols are network-specific ReLU error terms and independent. *)
+let difference_of_analyses box (a : Zonotope.analysis) (b : Zonotope.analysis) =
+  let d = Box.dim box in
+  let outputs = Vec.dim a.Zonotope.output_center in
+  let lo = Array.make outputs 0.0 and hi = Array.make outputs 0.0 in
+  for i = 0 to outputs - 1 do
+    let center = a.Zonotope.output_center.(i) -. b.Zonotope.output_center.(i) in
+    let ga = a.Zonotope.output_gen.(i) and gb = b.Zonotope.output_gen.(i) in
+    let radius = ref 0.0 in
+    (* Shared input symbols cancel coefficient-wise... *)
+    for t = 0 to d - 1 do
+      radius := !radius +. Float.abs (ga.(t) -. gb.(t))
+    done;
+    (* ...while each network's own ReLU symbols contribute fully. *)
+    for t = d to a.Zonotope.nterms - 1 do
+      radius := !radius +. Float.abs ga.(t)
+    done;
+    for t = d to b.Zonotope.nterms - 1 do
+      radius := !radius +. Float.abs gb.(t)
+    done;
+    lo.(i) <- center -. !radius;
+    hi.(i) <- center +. !radius
+  done;
+  { lo; hi }
+
+let output_difference n n' ~box =
+  if Network.input_dim n <> Network.input_dim n' || Network.output_dim n <> Network.output_dim n'
+  then invalid_arg "Diff.output_difference: network shapes differ";
+  if Box.dim box <> Network.input_dim n then
+    invalid_arg "Diff.output_difference: box dimension mismatch";
+  match
+    ( Zonotope.analyze n ~box ~splits:Splits.empty,
+      Zonotope.analyze n' ~box ~splits:Splits.empty )
+  with
+  | Zonotope.Feasible a, Zonotope.Feasible b -> Some (difference_of_analyses box a b)
+  | Zonotope.Infeasible, _ | _, Zonotope.Infeasible -> None
+
+type verdict = Equivalent | Deviation of Vec.t | Unknown
+
+(* Index of the widest dimension of a box. *)
+let widest_dim box =
+  let best = ref 0 in
+  for j = 1 to Box.dim box - 1 do
+    if Box.width box j > Box.width box !best then best := j
+  done;
+  !best
+
+let max_deviation n n' x =
+  let ya = Network.forward n x and yb = Network.forward n' x in
+  Vec.norm_inf (Vec.sub ya yb)
+
+let verify_equivalence ?(max_boxes = 1000) n n' ~box ~delta =
+  if delta < 0.0 then invalid_arg "Diff.verify_equivalence: negative delta";
+  let queue = Queue.create () in
+  Queue.add box queue;
+  let boxes = ref 0 in
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    if !boxes >= max_boxes then result := Some Unknown
+    else begin
+      incr boxes;
+      let current = Queue.pop queue in
+      (* Concrete falsification probe at the centre. *)
+      let center = Box.center current in
+      if max_deviation n n' center > delta then result := Some (Deviation center)
+      else
+        match output_difference n n' ~box:current with
+        | None -> () (* empty region: vacuously fine *)
+        | Some { lo; hi } ->
+            let worst =
+              Array.fold_left
+                (fun acc (v : float) -> Float.max acc v)
+                0.0
+                (Array.mapi (fun i l -> Float.max (Float.abs l) (Float.abs hi.(i))) lo)
+            in
+            if worst > delta then begin
+              let left, right = Box.split_dim current (widest_dim current) in
+              Queue.add left queue;
+              Queue.add right queue
+            end
+    end
+  done;
+  match !result with None -> Equivalent | Some r -> r

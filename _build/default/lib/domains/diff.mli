@@ -1,0 +1,35 @@
+(** Differential bounds between two networks (ReluDiff-flavoured).
+
+    Bounds each coordinate of [N(x) - N'(x)] over an input box by
+    running the zonotope analysis on both networks with {e shared} input
+    noise symbols: the affine parts cancel exactly, and only the two
+    networks' independent ReLU-approximation symbols contribute slack.
+    This is the differential-verification setting of Paulsen et al.
+    (ReluDiff, ICSE 2020) that the paper positions as complementary
+    (§7); refinement is by recursive input splitting. *)
+
+type bound = { lo : Ivan_tensor.Vec.t; hi : Ivan_tensor.Vec.t }
+(** Per-output bounds on the difference [N(x) - N'(x)]. *)
+
+val output_difference : Ivan_nn.Network.t -> Ivan_nn.Network.t -> box:Ivan_spec.Box.t -> bound option
+(** [None] when either analysis reports the region empty (cannot happen
+    without split assumptions, but kept total).
+    @raise Invalid_argument if the networks' input/output dimensions
+    differ or do not match the box. *)
+
+type verdict =
+  | Equivalent  (** [||N(x) - N'(x)||_inf <= delta] proved on the whole box *)
+  | Deviation of Ivan_tensor.Vec.t
+      (** a concrete input where some output differs by more than delta *)
+  | Unknown  (** budget exhausted *)
+
+val verify_equivalence :
+  ?max_boxes:int ->
+  Ivan_nn.Network.t ->
+  Ivan_nn.Network.t ->
+  box:Ivan_spec.Box.t ->
+  delta:float ->
+  verdict
+(** Complete-style differential check by branch and bound over input
+    splits (widest dimension first), up to [max_boxes] sub-boxes
+    (default 1000). *)

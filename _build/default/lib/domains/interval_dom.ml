@@ -1,0 +1,95 @@
+module Vec = Ivan_tensor.Vec
+module Mat = Ivan_tensor.Mat
+module Network = Ivan_nn.Network
+module Layer = Ivan_nn.Layer
+module Relu_id = Ivan_nn.Relu_id
+module Box = Ivan_spec.Box
+
+type result = Feasible of Bounds.t | Infeasible
+
+exception Empty_region
+
+(* Interval matvec: for W x + b with x in [xlo, xhi]. *)
+let affine_bounds w b xlo xhi =
+  let rows = Mat.rows w in
+  let lo = Array.make rows 0.0 and hi = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let alo = ref b.(i) and ahi = ref b.(i) in
+    for j = 0 to Mat.cols w - 1 do
+      let wij = Mat.get w i j in
+      if wij >= 0.0 then begin
+        alo := !alo +. (wij *. xlo.(j));
+        ahi := !ahi +. (wij *. xhi.(j))
+      end
+      else begin
+        alo := !alo +. (wij *. xhi.(j));
+        ahi := !ahi +. (wij *. xlo.(j))
+      end
+    done;
+    lo.(i) <- !alo;
+    hi.(i) <- !ahi
+  done;
+  (lo, hi)
+
+(* Refine a pre-activation interval with the split phase and give the
+   post-activation interval for a piecewise-linear activation with the
+   given negative-side [slope] (0 for ReLU).  The activation is
+   monotone, so the unsplit image is just the endpoint image.  Raises
+   [Empty_region] on contradiction. *)
+let apply_relu_phase ~slope ~phase ~lo ~hi =
+  let act v = if v >= 0.0 then v else slope *. v in
+  match phase with
+  | None -> (lo, hi, act lo, act hi)
+  | Some Splits.Pos ->
+      if hi < 0.0 then raise Empty_region;
+      let lo' = Float.max 0.0 lo in
+      (lo', hi, lo', hi)
+  | Some Splits.Neg ->
+      if lo > 0.0 then raise Empty_region;
+      let hi' = Float.min 0.0 hi in
+      (lo, hi', slope *. lo, slope *. hi')
+
+let analyze net ~box ~splits =
+  if Box.dim box <> Network.input_dim net then
+    invalid_arg "Interval_dom.analyze: box dimension mismatch";
+  let layers = Network.layers net in
+  let result = Array.make (Array.length layers) None in
+  try
+    let xlo = ref (Box.lo box) and xhi = ref (Box.hi box) in
+    Array.iteri
+      (fun li layer ->
+        let w, b = Layer.dense_affine layer in
+        let pre_lo, pre_hi = affine_bounds w b !xlo !xhi in
+        let dim = Vec.dim pre_lo in
+        let post_lo = Array.make dim 0.0 and post_hi = Array.make dim 0.0 in
+        (match Layer.classify (Layer.activation layer) with
+        | Layer.Linear_activation ->
+            Array.blit pre_lo 0 post_lo 0 dim;
+            Array.blit pre_hi 0 post_hi 0 dim
+        | Layer.Smooth { f; df = _ } ->
+            (* Monotone: the image is the endpoint image.  Smooth units
+               are never split. *)
+            for idx = 0 to dim - 1 do
+              post_lo.(idx) <- f pre_lo.(idx);
+              post_hi.(idx) <- f pre_hi.(idx)
+            done
+        | Layer.Piecewise slope ->
+            for idx = 0 to dim - 1 do
+              let phase = Splits.find (Relu_id.make ~layer:li ~index:idx) splits in
+              let plo, phi, qlo, qhi =
+                apply_relu_phase ~slope ~phase ~lo:pre_lo.(idx) ~hi:pre_hi.(idx)
+              in
+              pre_lo.(idx) <- plo;
+              pre_hi.(idx) <- phi;
+              post_lo.(idx) <- qlo;
+              post_hi.(idx) <- qhi
+            done);
+        result.(li) <- Some { Bounds.pre_lo; pre_hi; post_lo; post_hi };
+        xlo := post_lo;
+        xhi := post_hi)
+      layers;
+    let layers_bounds =
+      Array.map (function Some l -> l | None -> assert false) result
+    in
+    Feasible { Bounds.layers = layers_bounds }
+  with Empty_region -> Infeasible

@@ -1,0 +1,11 @@
+(** Interval (box) abstract interpreter.
+
+    The cheapest sound analyzer: propagates per-neuron intervals through
+    the network.  Split assumptions refine the intervals (a phase that
+    contradicts the bounds proves the subproblem region empty). *)
+
+type result = Feasible of Bounds.t | Infeasible
+
+val analyze : Ivan_nn.Network.t -> box:Ivan_spec.Box.t -> splits:Splits.t -> result
+(** @raise Invalid_argument if the box dimension differs from the
+    network input dimension. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Format Ivan_bab Ivan_data Ivan_nn Runner

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Float Ivan_bab Ivan_core Ivan_spec List Printf Runner Workload

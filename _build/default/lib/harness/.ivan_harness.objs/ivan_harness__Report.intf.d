@@ -1,0 +1,1 @@
+lib/harness/report.mli: Ivan_core Runner

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Domain Ivan_analyzer Ivan_bab Ivan_core Ivan_nn List Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Ivan_analyzer Ivan_bab Ivan_core Ivan_nn Workload

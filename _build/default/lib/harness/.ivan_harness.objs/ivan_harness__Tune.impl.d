@@ -1,0 +1,1 @@
+lib/harness/tune.ml: Ivan_bab Ivan_core Ivan_tensor List Runner Unix Workload

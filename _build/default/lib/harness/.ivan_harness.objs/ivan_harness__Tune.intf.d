@@ -1,0 +1,1 @@
+lib/harness/tune.mli: Ivan_core Ivan_nn Runner Workload

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Ivan_data Ivan_nn Ivan_spec Ivan_tensor List Printf

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Ivan_data Ivan_nn Ivan_spec

@@ -1,0 +1,100 @@
+module Analyzer = Ivan_analyzer.Analyzer
+module Heuristic = Ivan_bab.Heuristic
+module Bab = Ivan_bab.Bab
+module Ivan = Ivan_core.Ivan
+
+type setting = { analyzer : Analyzer.t; heuristic : Heuristic.t; budget : Bab.budget }
+
+let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 }) () =
+  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget }
+
+let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 }) () =
+  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget }
+
+type measurement = {
+  verdict : Bab.verdict;
+  calls : int;
+  seconds : float;
+  tree_size : int;
+  tree_leaves : int;
+}
+
+let solved m = match m.verdict with Bab.Proved | Bab.Disproved _ -> true | Bab.Exhausted -> false
+
+type comparison = {
+  instance : Workload.instance;
+  original : measurement;
+  baseline : measurement;
+  techniques : (Ivan.technique * measurement) list;
+}
+
+let measure_of_run (run : Bab.run) seconds =
+  {
+    verdict = run.Bab.verdict;
+    calls = run.Bab.stats.Bab.analyzer_calls;
+    seconds;
+    tree_size = run.Bab.stats.Bab.tree_size;
+    tree_leaves = run.Bab.stats.Bab.tree_leaves;
+  }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Workload.instance) =
+  let prop = instance.Workload.prop in
+  let original_run, original_time =
+    timed (fun () ->
+        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~budget:setting.budget
+          ~net ~prop ())
+  in
+  let baseline_run, baseline_time =
+    timed (fun () ->
+        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~budget:setting.budget
+          ~net:updated ~prop ())
+  in
+  let technique_runs =
+    List.map
+      (fun technique ->
+        let config = { Ivan.technique; alpha; theta; budget = setting.budget } in
+        let run, seconds =
+          timed (fun () ->
+              Ivan.verify_updated ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~config
+                ~original_run ~updated ~prop)
+        in
+        (technique, measure_of_run run seconds))
+      techniques
+  in
+  {
+    instance;
+    original = measure_of_run original_run original_time;
+    baseline = measure_of_run baseline_run baseline_time;
+    techniques = technique_runs;
+  }
+
+let run_all ?(domains = 1) setting ~net ~updated ~techniques ~alpha ~theta instances =
+  if domains <= 1 then
+    List.map (run_instance setting ~net ~updated ~techniques ~alpha ~theta) instances
+  else begin
+    (* Freeze the lazily-built dense lowerings before sharing the
+       networks across domains. *)
+    Ivan_nn.Network.precompute_dense net;
+    Ivan_nn.Network.precompute_dense updated;
+    let items = Array.of_list instances in
+    let results = Array.make (Array.length items) None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length items then continue := false
+        else results.(i) <- Some (run_instance setting ~net ~updated ~techniques ~alpha ~theta items.(i))
+      done
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function Some c -> c | None -> assert false)
+  end

@@ -1,0 +1,70 @@
+(** Experiment runner: baseline vs. incremental techniques.
+
+    For each instance, runs the non-incremental verifier on the original
+    network once (producing the reusable proof tree), the baseline
+    verifier on the updated network from scratch, and each requested
+    IVAN technique on the updated network — collecting the paper's cost
+    metrics (analyzer calls, the hardware-independent Cost column) and
+    wall-clock time. *)
+
+type setting = {
+  analyzer : Ivan_analyzer.Analyzer.t;
+  heuristic : Ivan_bab.Heuristic.t;
+  budget : Ivan_bab.Bab.budget;
+}
+
+val classifier_setting : ?budget:Ivan_bab.Bab.budget -> unit -> setting
+(** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
+    paper's §6.1 baseline stack).  Default budget: 400 calls, 30 s. *)
+
+val acas_setting : ?budget:Ivan_bab.Bab.budget -> unit -> setting
+(** Zonotope analyzer + smear input splitting (§6.4 stack).  Default
+    budget: 3000 calls, 60 s. *)
+
+type measurement = {
+  verdict : Ivan_bab.Bab.verdict;
+  calls : int;
+  seconds : float;
+  tree_size : int;
+  tree_leaves : int;
+}
+
+val solved : measurement -> bool
+(** Proved or disproved within budget. *)
+
+type comparison = {
+  instance : Workload.instance;
+  original : measurement;  (** verifying [N] from scratch *)
+  baseline : measurement;  (** verifying [N^a] from scratch *)
+  techniques : (Ivan_core.Ivan.technique * measurement) list;
+      (** verifying [N^a] incrementally *)
+}
+
+val run_instance :
+  setting ->
+  net:Ivan_nn.Network.t ->
+  updated:Ivan_nn.Network.t ->
+  techniques:Ivan_core.Ivan.technique list ->
+  alpha:float ->
+  theta:float ->
+  Workload.instance ->
+  comparison
+(** The original run is shared across all techniques of the instance. *)
+
+val run_all :
+  ?domains:int ->
+  setting ->
+  net:Ivan_nn.Network.t ->
+  updated:Ivan_nn.Network.t ->
+  techniques:Ivan_core.Ivan.technique list ->
+  alpha:float ->
+  theta:float ->
+  Workload.instance list ->
+  comparison list
+(** [domains] > 1 runs instances in parallel on that many OCaml 5
+    domains (default 1, sequential).  Instances are independent; the
+    networks' dense caches are forced up front so the shared structures
+    are read-only during the parallel section.  Results keep the input
+    order.  Per-instance wall times remain meaningful; aggregate time
+    speedups are unaffected because baseline and incremental runs of an
+    instance stay on the same domain. *)

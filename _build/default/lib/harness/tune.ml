@@ -1,0 +1,64 @@
+module Rng = Ivan_tensor.Rng
+module Bab = Ivan_bab.Bab
+module Ivan = Ivan_core.Ivan
+
+type trial = { alpha : float; theta : float; speedup : float }
+
+type outcome = { best : trial; trials : trial list }
+
+let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated instances =
+  if instances = [] then invalid_arg "Tune.search: empty calibration workload";
+  let rng = Rng.create seed in
+  (* Shared preparation: original proof trees and baseline timings. *)
+  let prepared =
+    List.map
+      (fun (inst : Workload.instance) ->
+        let prop = inst.Workload.prop in
+        let original =
+          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+            ~budget:setting.Runner.budget ~net ~prop ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let baseline =
+          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+            ~budget:setting.Runner.budget ~net:updated ~prop ()
+        in
+        (inst, original, baseline.Bab.verdict <> Bab.Exhausted, Unix.gettimeofday () -. t0))
+      instances
+  in
+  let evaluate alpha theta =
+    let base_total = ref 0.0 and tech_total = ref 0.0 in
+    List.iter
+      (fun ((inst : Workload.instance), original, baseline_solved, baseline_time) ->
+        if baseline_solved then begin
+          let config = { Ivan.technique; alpha; theta; budget = setting.Runner.budget } in
+          let t0 = Unix.gettimeofday () in
+          let _run =
+            Ivan.verify_updated ~analyzer:setting.Runner.analyzer
+              ~heuristic:setting.Runner.heuristic ~config ~original_run:original ~updated
+              ~prop:inst.Workload.prop
+          in
+          base_total := !base_total +. baseline_time;
+          tech_total := !tech_total +. (Unix.gettimeofday () -. t0)
+        end)
+      prepared;
+    { alpha; theta; speedup = (if !tech_total > 0.0 then !base_total /. !tech_total else 1.0) }
+  in
+  let candidates =
+    (Ivan.default_config.Ivan.alpha, Ivan.default_config.Ivan.theta)
+    :: List.init (max 0 (trials - 1)) (fun _ ->
+           let alpha = Rng.float rng 1.0 in
+           (* theta: log-uniform-ish over [0.001, 0.1] plus mass at 0. *)
+           let theta =
+             if Rng.float rng 1.0 < 0.15 then 0.0
+             else 0.001 *. exp (Rng.float rng 1.0 *. log 100.0)
+           in
+           (alpha, theta))
+  in
+  let evaluated = List.map (fun (alpha, theta) -> evaluate alpha theta) candidates in
+  let best =
+    List.fold_left
+      (fun acc t -> if t.speedup > acc.speedup then t else acc)
+      (List.hd evaluated) (List.tl evaluated)
+  in
+  { best; trials = evaluated }

@@ -1,0 +1,30 @@
+(** Hyperparameter tuning for (alpha, theta).
+
+    The paper tunes IVAN's two hyperparameters with Optuna (§5); this is
+    the equivalent in-repo facility: randomized search over the unit
+    square (alpha) and a log-ish theta range, scoring each candidate by
+    the overall speedup on a calibration workload, with the original and
+    baseline runs shared across candidates so a trial only pays for the
+    incremental runs. *)
+
+type trial = { alpha : float; theta : float; speedup : float }
+
+type outcome = {
+  best : trial;
+  trials : trial list;  (** every evaluated candidate, in order *)
+}
+
+val search :
+  ?trials:int ->
+  ?seed:int ->
+  setting:Runner.setting ->
+  technique:Ivan_core.Ivan.technique ->
+  net:Ivan_nn.Network.t ->
+  updated:Ivan_nn.Network.t ->
+  Workload.instance list ->
+  outcome
+(** [search ~setting ~technique ~net ~updated instances] evaluates
+    [trials] (default 20) random [(alpha, theta)] pairs — always
+    including the paper's default (0.25, 0.01) as the first trial — and
+    returns the best by overall time speedup against the shared
+    baseline.  @raise Invalid_argument on an empty instance list. *)

@@ -1,0 +1,49 @@
+module Vec = Ivan_tensor.Vec
+module Rng = Ivan_tensor.Rng
+module Network = Ivan_nn.Network
+module Prop = Ivan_spec.Prop
+module Zoo = Ivan_data.Zoo
+module Acas = Ivan_data.Acas
+
+type instance = { id : int; prop : Prop.t }
+
+let runner_up y label =
+  let best = ref (if label = 0 then 1 else 0) in
+  Array.iteri (fun j v -> if j <> label && v > y.(!best) then best := j) y;
+  !best
+
+let robustness_instances ~spec ~net ~count =
+  let inputs, labels = Zoo.test_set spec in
+  let acc = ref [] in
+  let made = ref 0 in
+  let i = ref 0 in
+  while !made < count && !i < Array.length inputs do
+    let x = inputs.(!i) and label = labels.(!i) in
+    let y = Network.forward net x in
+    if Vec.argmax y = label then begin
+      let adversary = runner_up y label in
+      let prop =
+        Prop.robustness
+          ~name:(Printf.sprintf "%s-rob-%d" spec.Zoo.name !i)
+          ~center:x ~eps:spec.Zoo.eps ~target:label ~adversary
+          ~num_outputs:(Network.output_dim net) ~clip:(Some (0.0, 1.0))
+      in
+      acc := { id = !made; prop } :: !acc;
+      incr made
+    end;
+    incr i
+  done;
+  List.rev !acc
+
+let acas_instances ~net ~margins ~seed =
+  let id = ref (-1) in
+  List.concat_map
+    (fun margin ->
+      let props = Acas.properties ~net ~margin ~rng:(Rng.create seed) in
+      List.map
+        (fun prop ->
+          incr id;
+          let prop = { prop with Prop.name = Printf.sprintf "%s-m%.2f" prop.Prop.name margin } in
+          { id = !id; prop })
+        props)
+    margins

@@ -1,0 +1,18 @@
+(** Verification workloads: the property suites of the evaluation.
+
+    Local robustness instances follow the paper's protocol — one
+    property per correctly-classified test image, pitting the true class
+    against the runner-up inside an L-infinity ball of the model's
+    Table-1 epsilon.  ACAS instances are the calibrated global
+    properties across a hardness spread of margins. *)
+
+type instance = { id : int; prop : Ivan_spec.Prop.t }
+
+val robustness_instances :
+  spec:Ivan_data.Zoo.spec -> net:Ivan_nn.Network.t -> count:int -> instance list
+(** Up to [count] instances from the model's held-out test set (fewer if
+    the network classifies fewer points correctly).  Deterministic. *)
+
+val acas_instances :
+  net:Ivan_nn.Network.t -> margins:float list -> seed:int -> instance list
+(** One instance per (region, margin) pair. *)

@@ -1,0 +1,412 @@
+type cmp = Le | Ge | Eq
+
+type row = { coeffs : (int * float) list; cmp : cmp; rhs : float }
+
+type problem = {
+  nvars : int;
+  mutable obj : float array;
+  lo : float array;
+  hi : float array;
+  mutable rows_rev : row list;
+  mutable nrows : int;
+}
+
+type solution = { objective : float; primal : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+exception Iteration_limit
+
+let create n =
+  if n < 0 then invalid_arg "Lp.create: negative variable count";
+  {
+    nvars = n;
+    obj = Array.make n 0.0;
+    lo = Array.make n neg_infinity;
+    hi = Array.make n infinity;
+    rows_rev = [];
+    nrows = 0;
+  }
+
+let num_vars p = p.nvars
+
+let num_rows p = p.nrows
+
+let set_objective p c =
+  if Array.length c <> p.nvars then invalid_arg "Lp.set_objective: dimension mismatch";
+  p.obj <- Array.copy c
+
+let set_bounds p j lo hi =
+  if j < 0 || j >= p.nvars then invalid_arg "Lp.set_bounds: variable out of range";
+  if lo > hi then invalid_arg "Lp.set_bounds: lo > hi";
+  p.lo.(j) <- lo;
+  p.hi.(j) <- hi
+
+let get_bounds p j =
+  if j < 0 || j >= p.nvars then invalid_arg "Lp.get_bounds: variable out of range";
+  (p.lo.(j), p.hi.(j))
+
+let add_constraint p coeffs cmp rhs =
+  List.iter
+    (fun (j, _) -> if j < 0 || j >= p.nvars then invalid_arg "Lp.add_constraint: variable out of range")
+    coeffs;
+  p.rows_rev <- { coeffs; cmp; rhs } :: p.rows_rev;
+  p.nrows <- p.nrows + 1
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-variable primal simplex on a dense tableau.
+
+   Column layout: [0, n) structural, [n, n+m) slacks, [n+m, n+2m)
+   artificials.  Row i is  a_i^T x + s_i + d_i t_i = b_i  where the slack
+   bound encodes the comparison and d_i = ±1 makes the artificial start
+   non-negative.  Phase 1 minimizes the artificial sum from the all-
+   artificial basis; phase 2 minimizes the true objective with the
+   artificials pinned to zero. *)
+
+type status = Basic | At_lower | At_upper | Free_zero
+
+let eps_cost = 1e-9
+let eps_ratio = 1e-9
+let eps_feas = 1e-7
+let max_iterations = 50_000
+
+type tableau = {
+  m : int;  (* rows *)
+  ncols : int;
+  tab : float array array;  (* m x ncols: current B^{-1} A_full *)
+  zrow : float array;  (* reduced costs, updated by pivots *)
+  rhs_col : float array;  (* B^{-1} b *)
+  lob : float array;  (* per-column lower bounds *)
+  hib : float array;
+  xval : float array;  (* current value of every column *)
+  bval : float array;  (* value of the basic variable of each row *)
+  basis : int array;  (* row -> column *)
+  stat : status array;  (* column -> status *)
+}
+
+(* Initial value a nonbasic column rests at. *)
+let resting_value lo hi = if lo > neg_infinity then lo else if hi < infinity then hi else 0.0
+
+let resting_status lo hi =
+  if lo > neg_infinity then At_lower else if hi < infinity then At_upper else Free_zero
+
+(* Recompute basic values from the pivoted system: for each row,
+   bval = rhs - sum over nonbasic columns of tab * xval. *)
+let refresh_basic_values t =
+  for i = 0 to t.m - 1 do
+    let acc = ref t.rhs_col.(i) in
+    let row = t.tab.(i) in
+    for j = 0 to t.ncols - 1 do
+      if t.stat.(j) <> Basic && t.xval.(j) <> 0.0 then acc := !acc -. (row.(j) *. t.xval.(j))
+    done;
+    t.bval.(i) <- !acc;
+    t.xval.(t.basis.(i)) <- !acc
+  done
+
+(* Rebuild the reduced-cost row for objective [c] (length ncols). *)
+let refresh_cost_row t c =
+  Array.blit c 0 t.zrow 0 t.ncols;
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if cb <> 0.0 then begin
+      let row = t.tab.(i) in
+      for j = 0 to t.ncols - 1 do
+        t.zrow.(j) <- t.zrow.(j) -. (cb *. row.(j))
+      done
+    end
+  done
+
+let pivot t r j =
+  let prow = t.tab.(r) in
+  let piv = prow.(j) in
+  let inv = 1.0 /. piv in
+  for k = 0 to t.ncols - 1 do
+    prow.(k) <- prow.(k) *. inv
+  done;
+  t.rhs_col.(r) <- t.rhs_col.(r) *. inv;
+  for i = 0 to t.m - 1 do
+    if i <> r then begin
+      let row = t.tab.(i) in
+      let f = row.(j) in
+      if Float.abs f > 0.0 then begin
+        for k = 0 to t.ncols - 1 do
+          row.(k) <- row.(k) -. (f *. prow.(k))
+        done;
+        row.(j) <- 0.0;
+        t.rhs_col.(i) <- t.rhs_col.(i) -. (f *. t.rhs_col.(r))
+      end
+    end
+  done;
+  let f = t.zrow.(j) in
+  if Float.abs f > 0.0 then begin
+    for k = 0 to t.ncols - 1 do
+      t.zrow.(k) <- t.zrow.(k) -. (f *. prow.(k))
+    done;
+    t.zrow.(j) <- 0.0
+  end
+
+type step_outcome = Step_optimal | Step_unbounded | Step_continue
+
+(* One simplex iteration.  [bland] forces Bland's rule for entering and
+   leaving choices (anti-cycling); otherwise the most-improving reduced
+   cost is used. *)
+let simplex_step t ~bland =
+  (* Entering column selection.  Fixed columns (lo = hi) can never
+     improve the objective and are skipped; this is what retires the
+     artificials in phase 2. *)
+  let entering = ref (-1) in
+  let enter_dir = ref 1.0 in
+  let best = ref eps_cost in
+  let consider j gain dir =
+    if gain > eps_cost && (bland || gain > !best) then begin
+      entering := j;
+      enter_dir := dir;
+      best := gain
+    end
+  in
+  (let j = ref 0 in
+   while !j < t.ncols && not (bland && !entering >= 0) do
+     if t.lob.(!j) < t.hib.(!j) then begin
+       let z = t.zrow.(!j) in
+       match t.stat.(!j) with
+       | Basic -> ()
+       | At_lower -> consider !j (-.z) 1.0
+       | At_upper -> consider !j z (-1.0)
+       | Free_zero -> if z < 0.0 then consider !j (-.z) 1.0 else consider !j z (-1.0)
+     end;
+     incr j
+   done);
+  if !entering < 0 then Step_optimal
+  else begin
+    let j = !entering in
+    let dir = !enter_dir in
+    (* Ratio test: entering moves by t >= 0 in direction [dir]; basic i
+       changes at rate delta_i = -dir * tab[i][j]. *)
+    let limit = ref infinity in
+    let leaving = ref (-1) in
+    let leaving_to_upper = ref false in
+    for i = 0 to t.m - 1 do
+      let alpha = t.tab.(i).(j) in
+      let delta = -.dir *. alpha in
+      if delta > eps_ratio then begin
+        let b = t.basis.(i) in
+        let room = t.hib.(b) -. t.bval.(i) in
+        let ratio = if room <= 0.0 then 0.0 else room /. delta in
+        if
+          ratio < !limit -. eps_ratio
+          || (ratio < !limit +. eps_ratio && !leaving >= 0 && t.basis.(i) < t.basis.(!leaving))
+        then begin
+          limit := Float.max 0.0 ratio;
+          leaving := i;
+          leaving_to_upper := true
+        end
+      end
+      else if delta < -.eps_ratio then begin
+        let b = t.basis.(i) in
+        let room = t.bval.(i) -. t.lob.(b) in
+        let ratio = if room <= 0.0 then 0.0 else room /. -.delta in
+        if
+          ratio < !limit -. eps_ratio
+          || (ratio < !limit +. eps_ratio && !leaving >= 0 && t.basis.(i) < t.basis.(!leaving))
+        then begin
+          limit := Float.max 0.0 ratio;
+          leaving := i;
+          leaving_to_upper := false
+        end
+      end
+    done;
+    (* The entering variable's own opposite bound can also bind. *)
+    let own_span = t.hib.(j) -. t.lob.(j) in
+    let flip = own_span < !limit -. eps_ratio in
+    if flip then begin
+      (* Bound flip: no basis change. *)
+      let step = dir *. own_span in
+      for i = 0 to t.m - 1 do
+        let alpha = t.tab.(i).(j) in
+        if alpha <> 0.0 then begin
+          t.bval.(i) <- t.bval.(i) -. (alpha *. step);
+          t.xval.(t.basis.(i)) <- t.bval.(i)
+        end
+      done;
+      t.xval.(j) <- (if dir > 0.0 then t.hib.(j) else t.lob.(j));
+      t.stat.(j) <- (if dir > 0.0 then At_upper else At_lower);
+      Step_continue
+    end
+    else if !leaving < 0 then Step_unbounded
+    else begin
+      let r = !leaving in
+      let step = dir *. !limit in
+      (* Move all basic values, then swap basis. *)
+      for i = 0 to t.m - 1 do
+        if i <> r then begin
+          let alpha = t.tab.(i).(j) in
+          if alpha <> 0.0 then begin
+            t.bval.(i) <- t.bval.(i) -. (alpha *. step);
+            t.xval.(t.basis.(i)) <- t.bval.(i)
+          end
+        end
+      done;
+      let out = t.basis.(r) in
+      let out_value = if !leaving_to_upper then t.hib.(out) else t.lob.(out) in
+      t.xval.(out) <- out_value;
+      t.stat.(out) <- (if !leaving_to_upper then At_upper else At_lower);
+      let enter_value = t.xval.(j) +. step in
+      pivot t r j;
+      t.basis.(r) <- j;
+      t.stat.(j) <- Basic;
+      t.xval.(j) <- enter_value;
+      t.bval.(r) <- enter_value;
+      Step_continue
+    end
+  end
+
+(* Run simplex iterations to optimality for the current cost row. *)
+let optimize t =
+  let iter = ref 0 in
+  let degenerate_streak = ref 0 in
+  let finished = ref None in
+  while !finished = None do
+    incr iter;
+    if !iter > max_iterations then raise Iteration_limit;
+    if !iter mod 64 = 0 then refresh_basic_values t;
+    let bland = !degenerate_streak > 2 * (t.m + 1) in
+    let before = Array.copy t.bval in
+    (match simplex_step t ~bland with
+    | Step_optimal -> finished := Some `Optimal
+    | Step_unbounded -> finished := Some `Unbounded
+    | Step_continue ->
+        let moved = ref false in
+        for i = 0 to t.m - 1 do
+          if Float.abs (t.bval.(i) -. before.(i)) > eps_ratio then moved := true
+        done;
+        if !moved then degenerate_streak := 0 else incr degenerate_streak)
+  done;
+  match !finished with Some `Optimal -> `Optimal | Some `Unbounded -> `Unbounded | None -> assert false
+
+let solve p =
+  let n = p.nvars in
+  let m = p.nrows in
+  let rows = Array.of_list (List.rev p.rows_rev) in
+  let ncols = n + m + m in
+  let lob = Array.make ncols 0.0 in
+  let hib = Array.make ncols 0.0 in
+  Array.blit p.lo 0 lob 0 n;
+  Array.blit p.hi 0 hib 0 n;
+  for i = 0 to m - 1 do
+    (* Slack bounds encode the comparison. *)
+    let slo, shi =
+      match rows.(i).cmp with Le -> (0.0, infinity) | Ge -> (neg_infinity, 0.0) | Eq -> (0.0, 0.0)
+    in
+    lob.(n + i) <- slo;
+    hib.(n + i) <- shi;
+    (* Artificials: [0, inf) during phase 1. *)
+    lob.(n + m + i) <- 0.0;
+    hib.(n + m + i) <- infinity
+  done;
+  let stat = Array.make ncols At_lower in
+  let xval = Array.make ncols 0.0 in
+  for j = 0 to n + m - 1 do
+    stat.(j) <- resting_status lob.(j) hib.(j);
+    xval.(j) <- resting_value lob.(j) hib.(j)
+  done;
+  (* Residual of each row at the resting point (slack at zero).  Rows
+     whose residual fits inside the slack's own bounds start with the
+     slack basic — no artificial needed; only the remaining rows get an
+     artificial, and phase 1 is skipped entirely when there are none. *)
+  let resid = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let acc = ref rows.(i).rhs in
+    List.iter (fun (j, a) -> acc := !acc -. (a *. xval.(j))) rows.(i).coeffs;
+    resid.(i) <- !acc
+  done;
+  let tab = Array.make_matrix m ncols 0.0 in
+  let rhs_col = Array.make m 0.0 in
+  let basis = Array.make m 0 in
+  let bval = Array.make m 0.0 in
+  let artificial_rows = ref 0 in
+  for i = 0 to m - 1 do
+    let slack_feasible = resid.(i) >= lob.(n + i) -. 1e-12 && resid.(i) <= hib.(n + i) +. 1e-12 in
+    if slack_feasible then begin
+      (* Slack basis: row stays in its natural orientation; the
+         artificial column is unused and pinned at 0. *)
+      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. a) rows.(i).coeffs;
+      tab.(i).(n + i) <- 1.0;
+      rhs_col.(i) <- rows.(i).rhs;
+      basis.(i) <- n + i;
+      stat.(n + i) <- Basic;
+      hib.(n + m + i) <- 0.0;
+      bval.(i) <- resid.(i);
+      xval.(n + i) <- resid.(i)
+    end
+    else begin
+      incr artificial_rows;
+      let sign = if resid.(i) >= 0.0 then 1.0 else -1.0 in
+      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. (sign *. a)) rows.(i).coeffs;
+      tab.(i).(n + i) <- sign;
+      tab.(i).(n + m + i) <- 1.0;
+      rhs_col.(i) <- sign *. rows.(i).rhs;
+      basis.(i) <- n + m + i;
+      stat.(n + m + i) <- Basic;
+      bval.(i) <- Float.abs resid.(i);
+      xval.(n + m + i) <- bval.(i)
+    end
+  done;
+  let t =
+    { m; ncols; tab; zrow = Array.make ncols 0.0; rhs_col; lob; hib; xval; bval; basis; stat }
+  in
+  (* Phase 1: minimize the artificial sum (skipped when the slack basis
+     is already feasible). *)
+  let infeasible =
+    !artificial_rows > 0
+    && begin
+         let phase1_cost = Array.make ncols 0.0 in
+         for i = 0 to m - 1 do
+           phase1_cost.(n + m + i) <- 1.0
+         done;
+         refresh_cost_row t phase1_cost;
+         (match optimize t with
+         | `Optimal -> ()
+         | `Unbounded ->
+             (* The phase-1 objective is bounded below by 0; reaching
+                here means numerical trouble, which we surface as a
+                solver failure. *)
+             raise Iteration_limit);
+         refresh_basic_values t;
+         let infeasibility = ref 0.0 in
+         for i = 0 to m - 1 do
+           infeasibility := !infeasibility +. Float.max 0.0 t.xval.(n + m + i)
+         done;
+         !infeasibility > eps_feas
+       end
+  in
+  if infeasible then Infeasible
+  else begin
+    (* Pin artificials at zero and install the true objective. *)
+    for i = 0 to m - 1 do
+      lob.(n + m + i) <- 0.0;
+      hib.(n + m + i) <- 0.0;
+      if t.stat.(n + m + i) <> Basic then begin
+        t.stat.(n + m + i) <- At_lower;
+        t.xval.(n + m + i) <- 0.0
+      end
+    done;
+    let phase2_cost = Array.make ncols 0.0 in
+    Array.blit p.obj 0 phase2_cost 0 n;
+    refresh_cost_row t phase2_cost;
+    match optimize t with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        refresh_basic_values t;
+        let primal = Array.sub t.xval 0 n in
+        let objective = ref 0.0 in
+        for j = 0 to n - 1 do
+          objective := !objective +. (p.obj.(j) *. primal.(j))
+        done;
+        Optimal { objective = !objective; primal }
+  end
+
+let pp_result fmt = function
+  | Infeasible -> Format.fprintf fmt "infeasible"
+  | Unbounded -> Format.fprintf fmt "unbounded"
+  | Optimal { objective; primal } ->
+      Format.fprintf fmt "optimal %g at %a" objective Ivan_tensor.Vec.pp primal

@@ -1,0 +1,62 @@
+(** Linear programming.
+
+    A self-contained dense simplex solver standing in for the commercial
+    LP back-end (GUROBI) used by the paper.  It solves
+
+    {v minimize    c^T x
+  subject to  a_i^T x (<= | = | >=) b_i     for each row i
+              lo_j <= x_j <= hi_j           for each variable j v}
+
+    using a primal simplex on bounded variables with a Phase-1 artificial
+    start and Bland's anti-cycling rule.  Problem sizes in this repository
+    (at most a few hundred variables and rows) are well within dense-
+    tableau territory. *)
+
+type cmp = Le | Ge | Eq
+
+type problem
+(** A mutable LP under construction. *)
+
+type solution = {
+  objective : float;  (** optimal value of [c^T x] *)
+  primal : float array;  (** optimal assignment, indexed by variable *)
+}
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+exception Iteration_limit
+(** Raised by {!solve} when the simplex exceeds its internal iteration
+    cap — a numerical-failure escape hatch.  Callers that need soundness
+    (the verifier's analyzers) treat it as an inconclusive answer. *)
+
+val create : int -> problem
+(** [create n] is a problem over [n] variables with zero objective and
+    free variables ([-inf, +inf]).  @raise Invalid_argument if [n < 0]. *)
+
+val num_vars : problem -> int
+
+val num_rows : problem -> int
+
+val set_objective : problem -> float array -> unit
+(** Dense objective vector; minimization.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val set_bounds : problem -> int -> float -> float -> unit
+(** [set_bounds p j lo hi].  Use [neg_infinity] / [infinity] for
+    unbounded sides.  @raise Invalid_argument if [lo > hi] or [j] is out
+    of range. *)
+
+val get_bounds : problem -> int -> float * float
+(** Current (lo, hi) of a variable.  @raise Invalid_argument if [j] is
+    out of range. *)
+
+val add_constraint : problem -> (int * float) list -> cmp -> float -> unit
+(** [add_constraint p coeffs cmp rhs] adds the row
+    [sum_j coeff_j * x_j cmp rhs].  Terms with duplicate indices are
+    summed.  @raise Invalid_argument on out-of-range variable indices. *)
+
+val solve : problem -> result
+(** Solve the problem as currently built.  The problem may be extended
+    and re-solved afterwards (each call solves from scratch). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,79 @@
+type stats = { nodes : int; lp_solves : int }
+
+type result =
+  | Optimal of { objective : float; primal : float array; stats : stats }
+  | Infeasible of stats
+  | Node_limit of stats
+
+let eps_integral = 1e-6
+
+let eps_prune = 1e-9
+
+exception Out_of_nodes
+
+let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
+  List.iter
+    (fun j ->
+      if j < 0 || j >= Lp.num_vars p then invalid_arg "Milp.solve: binary out of range";
+      let lo, hi = Lp.get_bounds p j in
+      if lo < -.eps_integral || hi > 1.0 +. eps_integral then
+        invalid_arg "Milp.solve: binary variables must have bounds within [0, 1]")
+    integer;
+  let saved = List.map (fun j -> (j, Lp.get_bounds p j)) integer in
+  let restore () = List.iter (fun (j, (lo, hi)) -> Lp.set_bounds p j lo hi) saved in
+  let best_obj = ref (match incumbent with Some v -> v | None -> infinity) in
+  let best_primal = ref None in
+  let nodes = ref 0 in
+  let lp_solves = ref 0 in
+  (* Most fractional binary of an LP solution, if any. *)
+  let fractional primal =
+    let best = ref None in
+    List.iter
+      (fun j ->
+        let v = primal.(j) in
+        let dist = Float.min (Float.abs v) (Float.abs (1.0 -. v)) in
+        if dist > eps_integral then
+          match !best with
+          | Some (_, d) when d >= dist -> ()
+          | Some _ | None -> best := Some (j, dist))
+      integer;
+    !best
+  in
+  let rec explore () =
+    if !nodes >= max_nodes then raise Out_of_nodes;
+    incr nodes;
+    incr lp_solves;
+    match Lp.solve p with
+    | Lp.Infeasible -> ()
+    | Lp.Unbounded ->
+        (* The relaxation must be bounded for branch and bound to make
+           sense; our verification encodings always are. *)
+        invalid_arg "Milp.solve: unbounded LP relaxation"
+    | Lp.Optimal { objective; primal } ->
+        if objective >= !best_obj -. eps_prune then () (* bound: prune *)
+        else begin
+          match fractional primal with
+          | None ->
+              best_obj := objective;
+              best_primal := Some (Array.copy primal)
+          | Some (j, _) ->
+              let lo, hi = Lp.get_bounds p j in
+              (* Branch toward the relaxation's preference first. *)
+              let first, second = if primal.(j) >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
+              Lp.set_bounds p j first first;
+              explore ();
+              Lp.set_bounds p j second second;
+              explore ();
+              Lp.set_bounds p j lo hi
+        end
+  in
+  let capped =
+    match explore () with () -> false | exception Out_of_nodes -> true
+  in
+  restore ();
+  let stats = { nodes = !nodes; lp_solves = !lp_solves } in
+  if capped then Node_limit stats
+  else
+    match !best_primal with
+    | Some primal -> Optimal { objective = !best_obj; primal; stats }
+    | None -> Infeasible stats

@@ -1,0 +1,36 @@
+(** Mixed 0-1 integer programming by branch and bound over {!Lp}.
+
+    Minimizes the LP objective with a designated subset of variables
+    restricted to {0, 1}.  Branching is depth-first on the most
+    fractional binary (best-bound tie-breaking comes from the DFS order
+    visiting the more promising side first); nodes are pruned against
+    the incumbent.  Supports warm starting by passing the previous
+    solve's optimal value as an initial incumbent bound — the setting of
+    the paper's §7 MILP-warm-start comparison. *)
+
+type stats = { nodes : int; lp_solves : int }
+
+type result =
+  | Optimal of { objective : float; primal : float array; stats : stats }
+  | Infeasible of stats
+  | Node_limit of stats
+      (** the node cap was hit before the search finished; no exact
+          answer (incumbent, if any, is not returned to keep misuse
+          hard) *)
+
+val solve :
+  ?max_nodes:int ->
+  ?incumbent:float ->
+  Lp.problem ->
+  integer:int list ->
+  result
+(** [solve p ~integer] minimizes over [p] with the [integer] variables
+    binary.  The problem's bounds are temporarily tightened during the
+    search and restored before returning.  [incumbent] is a known upper
+    bound on the optimum (e.g. from a feasible point or a previous
+    solve); branches whose LP relaxation cannot beat it are pruned, and
+    if no solution improves on it the result is [Infeasible] (meaning:
+    the true optimum is at least [incumbent]).  Binary variables must
+    have bounds within [0, 1].
+    @raise Invalid_argument on out-of-range or mis-bounded binaries.
+    @raise Lp.Iteration_limit if an inner LP solve fails numerically. *)

@@ -1,0 +1,1 @@
+lib/nn/builder.ml: Array Ivan_tensor Layer List Network

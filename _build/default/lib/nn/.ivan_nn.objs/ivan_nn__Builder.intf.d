@@ -1,0 +1,1 @@
+lib/nn/builder.mli: Ivan_tensor Layer Network

@@ -1,0 +1,1 @@
+lib/nn/grad.ml: Array Ivan_tensor Layer Network

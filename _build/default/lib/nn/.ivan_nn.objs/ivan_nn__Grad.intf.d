@@ -1,0 +1,1 @@
+lib/nn/grad.mli: Ivan_tensor Network

@@ -1,0 +1,1 @@
+lib/nn/layer.mli: Ivan_tensor

@@ -1,0 +1,1 @@
+lib/nn/network.ml: Array Format Ivan_tensor Layer Printf Relu_id

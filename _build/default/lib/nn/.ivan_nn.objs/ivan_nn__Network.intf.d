@@ -1,0 +1,1 @@
+lib/nn/network.mli: Format Ivan_tensor Layer Relu_id

@@ -1,0 +1,1 @@
+lib/nn/perturb.ml: Array Float Ivan_tensor Layer List Network

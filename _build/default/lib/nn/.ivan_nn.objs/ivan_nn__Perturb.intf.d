@@ -1,0 +1,1 @@
+lib/nn/perturb.mli: Ivan_tensor Network

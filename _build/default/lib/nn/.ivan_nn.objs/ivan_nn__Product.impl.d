@@ -1,0 +1,1 @@
+lib/nn/product.ml: Array Ivan_tensor Layer List Network

@@ -1,0 +1,1 @@
+lib/nn/product.mli: Network

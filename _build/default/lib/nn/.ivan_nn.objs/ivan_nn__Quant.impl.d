@@ -1,0 +1,1 @@
+lib/nn/quant.ml: Array Float Ivan_tensor Layer List Network Printf

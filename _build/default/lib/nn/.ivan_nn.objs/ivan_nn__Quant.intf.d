@@ -1,0 +1,1 @@
+lib/nn/quant.mli: Network

@@ -1,0 +1,1 @@
+lib/nn/relu_id.ml: Format Int Map Printf Set

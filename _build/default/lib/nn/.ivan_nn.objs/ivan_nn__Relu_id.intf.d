@@ -1,0 +1,1 @@
+lib/nn/relu_id.mli: Format Map Set

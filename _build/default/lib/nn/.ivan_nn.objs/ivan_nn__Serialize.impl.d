@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Array Buffer Fun In_channel Ivan_tensor Layer List Network Printf String

@@ -1,0 +1,76 @@
+module Mat = Ivan_tensor.Mat
+module Rng = Ivan_tensor.Rng
+
+let he_weight rng fan_in = Rng.gaussian rng *. sqrt (2.0 /. float_of_int fan_in)
+
+let dense_layer rng ~in_dim ~out_dim ~activation =
+  let weights = Mat.init out_dim in_dim (fun _ _ -> he_weight rng in_dim) in
+  let bias = Array.init out_dim (fun _ -> 0.01 *. Rng.gaussian rng) in
+  Layer.make (Layer.Dense { weights; bias }) activation
+
+let dense_net_act ~hidden_activation ~rng ~dims =
+  match dims with
+  | [] | [ _ ] -> invalid_arg "Builder.dense_net: need at least input and output dims"
+  | first :: rest ->
+      let count = List.length rest in
+      let layers =
+        List.mapi
+          (fun i out_dim ->
+            let in_dim = if i = 0 then first else List.nth rest (i - 1) in
+            let activation = if i = count - 1 then Layer.Identity else hidden_activation in
+            dense_layer rng ~in_dim ~out_dim ~activation)
+          rest
+      in
+      Network.make layers
+
+let dense_net ~rng ~dims = dense_net_act ~hidden_activation:Layer.Relu ~rng ~dims
+
+type conv_stage = { out_channels : int; kernel : int; stride : int; padding : int }
+
+let conv_layer rng ~in_channels ~in_height ~in_width ~stage =
+  let spec =
+    {
+      Layer.in_channels;
+      in_height;
+      in_width;
+      out_channels = stage.out_channels;
+      kernel_h = stage.kernel;
+      kernel_w = stage.kernel;
+      stride = stage.stride;
+      padding = stage.padding;
+    }
+  in
+  let fan_in = in_channels * stage.kernel * stage.kernel in
+  let kernel =
+    Array.init
+      (stage.out_channels * in_channels * stage.kernel * stage.kernel)
+      (fun _ -> he_weight rng fan_in)
+  in
+  let bias = Array.init stage.out_channels (fun _ -> 0.01 *. Rng.gaussian rng) in
+  Layer.make (Layer.Conv2d { spec; kernel; bias }) Layer.Relu
+
+let conv_net ~rng ~in_channels ~in_height ~in_width ~convs ~dense =
+  if dense = [] then invalid_arg "Builder.conv_net: need at least one dense layer";
+  let rec build_convs acc ~c ~h ~w = function
+    | [] -> (List.rev acc, c * h * w)
+    | stage :: rest ->
+        let layer = conv_layer rng ~in_channels:c ~in_height:h ~in_width:w ~stage in
+        let spec =
+          match Layer.affine layer with
+          | Layer.Conv2d { spec; _ } -> spec
+          | Layer.Dense _ -> assert false
+        in
+        build_convs (layer :: acc) ~c:stage.out_channels ~h:(Layer.conv_out_height spec)
+          ~w:(Layer.conv_out_width spec) rest
+  in
+  let conv_layers, flat_dim = build_convs [] ~c:in_channels ~h:in_height ~w:in_width convs in
+  let count = List.length dense in
+  let dense_layers =
+    List.mapi
+      (fun i out_dim ->
+        let in_dim = if i = 0 then flat_dim else List.nth dense (i - 1) in
+        let activation = if i = count - 1 then Layer.Identity else Layer.Relu in
+        dense_layer rng ~in_dim ~out_dim ~activation)
+      dense
+  in
+  Network.make (conv_layers @ dense_layers)

@@ -1,0 +1,29 @@
+(** Random network construction.
+
+    He-style initialization used both as the starting point for training
+    and for architecture-only tests. *)
+
+val dense_net : rng:Ivan_tensor.Rng.t -> dims:int list -> Network.t
+(** [dense_net ~rng ~dims:[d0; d1; ...; dk]] builds a fully-connected
+    ReLU network with layer sizes [d0 -> d1 -> ... -> dk]; every layer
+    has a ReLU activation except the last (identity).
+    @raise Invalid_argument if fewer than two dims are given. *)
+
+val dense_net_act :
+  hidden_activation:Layer.activation -> rng:Ivan_tensor.Rng.t -> dims:int list -> Network.t
+(** {!dense_net} with an explicit hidden activation (e.g.
+    [Layer.Leaky_relu 0.1]). *)
+
+type conv_stage = { out_channels : int; kernel : int; stride : int; padding : int }
+
+val conv_net :
+  rng:Ivan_tensor.Rng.t ->
+  in_channels:int ->
+  in_height:int ->
+  in_width:int ->
+  convs:conv_stage list ->
+  dense:int list ->
+  Network.t
+(** Convolutional stages (each ReLU-activated) followed by dense layers;
+    the last dense layer has identity activation.
+    @raise Invalid_argument if [dense] is empty. *)

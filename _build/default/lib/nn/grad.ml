@@ -1,0 +1,26 @@
+module Mat = Ivan_tensor.Mat
+module Vec = Ivan_tensor.Vec
+
+let objective_gradient net ~c x =
+  if Vec.dim c <> Network.output_dim net then
+    invalid_arg "Grad.objective_gradient: objective dimension mismatch";
+  let trace = Network.forward_trace net x in
+  let count = Network.num_layers net in
+  let delta = ref (Vec.copy c) in
+  for li = count - 1 downto 0 do
+    (* Through the activation: multiply by the active piece's slope. *)
+    let masked =
+      match Layer.classify (Layer.activation (Network.layers net).(li)) with
+      | Layer.Linear_activation -> !delta
+      | Layer.Piecewise slope ->
+          Array.mapi
+            (fun k d -> if trace.Network.pre.(li).(k) > 0.0 then d else slope *. d)
+            !delta
+      | Layer.Smooth { df; f = _ } ->
+          Array.mapi (fun k d -> d *. df trace.Network.pre.(li).(k)) !delta
+    in
+    (* Through the affine map: transpose multiply. *)
+    let w, _ = Network.layer_dense net li in
+    delta := Mat.matvec_t w masked
+  done;
+  !delta

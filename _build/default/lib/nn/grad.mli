@@ -1,0 +1,12 @@
+(** Input gradients.
+
+    Backpropagation of a linear output functional to the input — the
+    primitive behind gradient-guided falsification (PGD) and
+    gradient-based branching scores in the literature.  The gradient is
+    exact wherever the network is differentiable; on ReLU kinks the
+    subgradient of the active piece at the evaluation point is used. *)
+
+val objective_gradient :
+  Network.t -> c:Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+(** [objective_gradient net ~c x] is [d(c . net(x)) / dx].
+    @raise Invalid_argument on dimension mismatches. *)

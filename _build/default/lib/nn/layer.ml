@@ -1,0 +1,207 @@
+module Mat = Ivan_tensor.Mat
+module Vec = Ivan_tensor.Vec
+
+type activation = Relu | Identity | Leaky_relu of float | Sigmoid | Tanh
+
+type activation_kind =
+  | Linear_activation
+  | Piecewise of float
+  | Smooth of { f : float -> float; df : float -> float }
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let sigmoid' x =
+  let s = sigmoid x in
+  s *. (1.0 -. s)
+
+let tanh' x =
+  let t = Float.tanh x in
+  1.0 -. (t *. t)
+
+let classify = function
+  | Identity -> Linear_activation
+  | Relu -> Piecewise 0.0
+  | Leaky_relu slope -> Piecewise slope
+  | Sigmoid -> Smooth { f = sigmoid; df = sigmoid' }
+  | Tanh -> Smooth { f = Float.tanh; df = tanh' }
+
+type conv_spec = {
+  in_channels : int;
+  in_height : int;
+  in_width : int;
+  out_channels : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  padding : int;
+}
+
+type affine =
+  | Dense of { weights : Mat.t; bias : Vec.t }
+  | Conv2d of { spec : conv_spec; kernel : float array; bias : Vec.t }
+
+type t = { affine : affine; activation : activation; mutable dense_cache : (Mat.t * Vec.t) option }
+
+let conv_out_height spec = ((spec.in_height + (2 * spec.padding) - spec.kernel_h) / spec.stride) + 1
+
+let conv_out_width spec = ((spec.in_width + (2 * spec.padding) - spec.kernel_w) / spec.stride) + 1
+
+let conv_in_dim spec = spec.in_channels * spec.in_height * spec.in_width
+
+let conv_out_dim spec = spec.out_channels * conv_out_height spec * conv_out_width spec
+
+let validate = function
+  | Dense { weights; bias } ->
+      if Mat.rows weights <> Vec.dim bias then
+        invalid_arg "Layer.make: dense bias length must equal weight rows"
+  | Conv2d { spec; kernel; bias } ->
+      if spec.stride <= 0 then invalid_arg "Layer.make: conv stride must be positive";
+      if spec.padding < 0 then invalid_arg "Layer.make: conv padding must be non-negative";
+      if conv_out_height spec <= 0 || conv_out_width spec <= 0 then
+        invalid_arg "Layer.make: conv output collapses to zero size";
+      let expected = spec.out_channels * spec.in_channels * spec.kernel_h * spec.kernel_w in
+      if Array.length kernel <> expected then
+        invalid_arg "Layer.make: conv kernel has wrong number of entries";
+      if Vec.dim bias <> spec.out_channels then
+        invalid_arg "Layer.make: conv bias length must equal out_channels"
+
+let validate_activation = function
+  | Relu | Identity | Sigmoid | Tanh -> ()
+  | Leaky_relu slope ->
+      if slope <= 0.0 || slope >= 1.0 then
+        invalid_arg "Layer.make: leaky relu slope must be in (0, 1)"
+
+let make affine activation =
+  validate affine;
+  validate_activation activation;
+  { affine; activation; dense_cache = None }
+
+let affine l = l.affine
+
+let activation l = l.activation
+
+let input_dim l =
+  match l.affine with Dense { weights; _ } -> Mat.cols weights | Conv2d { spec; _ } -> conv_in_dim spec
+
+let output_dim l =
+  match l.affine with Dense { weights; _ } -> Mat.rows weights | Conv2d { spec; _ } -> conv_out_dim spec
+
+(* Index of kernel entry (oc, ic, kh, kw) in the flat kernel array. *)
+let kernel_index spec oc ic kh kw =
+  (((((oc * spec.in_channels) + ic) * spec.kernel_h) + kh) * spec.kernel_w) + kw
+
+(* Index of pixel (c, y, x) in a flattened (C, H, W) input. *)
+let pixel_index ~channels:_ ~height ~width c y x = (((c * height) + y) * width) + x
+
+let conv_forward spec kernel bias x =
+  let oh = conv_out_height spec and ow = conv_out_width spec in
+  let out = Array.make (spec.out_channels * oh * ow) 0.0 in
+  for oc = 0 to spec.out_channels - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let acc = ref (Vec.get bias oc) in
+        for ic = 0 to spec.in_channels - 1 do
+          for kh = 0 to spec.kernel_h - 1 do
+            for kw = 0 to spec.kernel_w - 1 do
+              let iy = (oy * spec.stride) + kh - spec.padding in
+              let ix = (ox * spec.stride) + kw - spec.padding in
+              if iy >= 0 && iy < spec.in_height && ix >= 0 && ix < spec.in_width then begin
+                let src =
+                  pixel_index ~channels:spec.in_channels ~height:spec.in_height
+                    ~width:spec.in_width ic iy ix
+                in
+                acc := !acc +. (kernel.(kernel_index spec oc ic kh kw) *. x.(src))
+              end
+            done
+          done
+        done;
+        out.(pixel_index ~channels:spec.out_channels ~height:oh ~width:ow oc oy ox) <- !acc
+      done
+    done
+  done;
+  out
+
+let pre_activation l x =
+  match l.affine with
+  | Dense { weights; bias } -> Vec.add (Mat.matvec weights x) bias
+  | Conv2d { spec; kernel; bias } ->
+      if Array.length x <> conv_in_dim spec then
+        invalid_arg "Layer.pre_activation: input dimension mismatch";
+      conv_forward spec kernel bias x
+
+let negative_slope = function
+  | Relu -> Some 0.0
+  | Identity | Sigmoid | Tanh -> None
+  | Leaky_relu slope -> Some slope
+
+let apply_activation act v =
+  match act with
+  | Relu -> Vec.relu v
+  | Identity -> v
+  | Leaky_relu slope -> Vec.map (fun x -> if x >= 0.0 then x else slope *. x) v
+  | Sigmoid -> Vec.map sigmoid v
+  | Tanh -> Vec.map Float.tanh v
+
+let forward l x = apply_activation l.activation (pre_activation l x)
+
+(* Lower a convolution to an explicit dense matrix by probing with unit
+   vectors of the weight structure (direct index computation, no probing
+   passes needed). *)
+let conv_to_dense spec kernel bias =
+  let oh = conv_out_height spec and ow = conv_out_width spec in
+  let out_dim = spec.out_channels * oh * ow in
+  let in_dim = conv_in_dim spec in
+  let w = Mat.zeros out_dim in_dim in
+  let full_bias = Array.make out_dim 0.0 in
+  for oc = 0 to spec.out_channels - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let row = pixel_index ~channels:spec.out_channels ~height:oh ~width:ow oc oy ox in
+        full_bias.(row) <- Vec.get bias oc;
+        for ic = 0 to spec.in_channels - 1 do
+          for kh = 0 to spec.kernel_h - 1 do
+            for kw = 0 to spec.kernel_w - 1 do
+              let iy = (oy * spec.stride) + kh - spec.padding in
+              let ix = (ox * spec.stride) + kw - spec.padding in
+              if iy >= 0 && iy < spec.in_height && ix >= 0 && ix < spec.in_width then begin
+                let col =
+                  pixel_index ~channels:spec.in_channels ~height:spec.in_height
+                    ~width:spec.in_width ic iy ix
+                in
+                Mat.set w row col (Mat.get w row col +. kernel.(kernel_index spec oc ic kh kw))
+              end
+            done
+          done
+        done
+      done
+    done
+  done;
+  (w, full_bias)
+
+let dense_affine l =
+  match l.dense_cache with
+  | Some cached -> cached
+  | None ->
+      let result =
+        match l.affine with
+        | Dense { weights; bias } -> (weights, bias)
+        | Conv2d { spec; kernel; bias } -> conv_to_dense spec kernel bias
+      in
+      l.dense_cache <- Some result;
+      result
+
+let map_weights f l =
+  let affine =
+    match l.affine with
+    | Dense { weights; bias } -> Dense { weights = Mat.map f weights; bias = Vec.map f bias }
+    | Conv2d { spec; kernel; bias } ->
+        Conv2d { spec; kernel = Array.map f kernel; bias = Vec.map f bias }
+  in
+  make affine l.activation
+
+let num_params l =
+  match l.affine with
+  | Dense { weights; bias } -> (Mat.rows weights * Mat.cols weights) + Vec.dim bias
+  | Conv2d { spec; kernel; bias } ->
+      ignore spec;
+      Array.length kernel + Vec.dim bias

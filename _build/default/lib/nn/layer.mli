@@ -1,0 +1,93 @@
+(** Network layers.
+
+    A layer applies an affine function (dense matrix or 2-D convolution)
+    followed by an activation, matching the paper's
+    [N_i(x) = act(A_i x + B_i)] shape.  Convolutions operate on inputs
+    flattened in channel-major (C, H, W) order and can be lowered to an
+    equivalent dense affine map for the analyzers. *)
+
+type activation =
+  | Relu
+  | Identity
+  | Leaky_relu of float
+      (** [Leaky_relu slope] with [0 < slope < 1]: [max(x, slope*x)].
+          Piecewise linear, so activation splitting still yields
+          complete verification (paper §3.2). *)
+  | Sigmoid
+  | Tanh
+      (** Smooth activations: verification stays sound but not complete
+          (no activation splitting); input splitting still refines —
+          paper §3.2 cases (2) and (3). *)
+
+(** How an activation behaves for analysis purposes. *)
+type activation_kind =
+  | Linear_activation  (** the identity: analysis passes through *)
+  | Piecewise of float
+      (** two linear pieces meeting at 0 with the given negative-side
+          slope (0 for ReLU): exactly splittable *)
+  | Smooth of { f : float -> float; df : float -> float }
+      (** monotone S-shaped function with its derivative (max slope at
+          0, decreasing away from it) *)
+
+val classify : activation -> activation_kind
+
+type conv_spec = {
+  in_channels : int;
+  in_height : int;
+  in_width : int;
+  out_channels : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  padding : int;
+}
+
+type affine =
+  | Dense of { weights : Ivan_tensor.Mat.t; bias : Ivan_tensor.Vec.t }
+      (** [weights] is [out_dim × in_dim]. *)
+  | Conv2d of {
+      spec : conv_spec;
+      kernel : float array;
+          (** flattened [out_c × in_c × kh × kw], row-major in that order *)
+      bias : Ivan_tensor.Vec.t;  (** per output channel, length [out_c] *)
+    }
+
+type t
+
+val make : affine -> activation -> t
+(** @raise Invalid_argument on inconsistent shapes (e.g. dense bias not
+    matching the weight rows, or conv bias not matching [out_channels]). *)
+
+val affine : t -> affine
+
+val activation : t -> activation
+
+val negative_slope : activation -> float option
+(** The slope applied to negative pre-activations: [Some 0.] for ReLU,
+    [Some a] for leaky ReLU, [None] for the identity.  Lets split-aware
+    analyses treat all piecewise-linear activations uniformly. *)
+
+val apply_activation : activation -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+
+val input_dim : t -> int
+
+val output_dim : t -> int
+
+val conv_out_height : conv_spec -> int
+
+val conv_out_width : conv_spec -> int
+
+val pre_activation : t -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+(** Affine part only: [A x + b]. *)
+
+val forward : t -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+(** Full layer: activation applied to the affine output. *)
+
+val dense_affine : t -> Ivan_tensor.Mat.t * Ivan_tensor.Vec.t
+(** The layer's affine map as an explicit (weights, bias) pair.
+    Convolutions are lowered on first use and the result is cached. *)
+
+val map_weights : (float -> float) -> t -> t
+(** Apply [f] to every weight and bias entry, preserving structure. *)
+
+val num_params : t -> int

@@ -1,0 +1,120 @@
+module Mat = Ivan_tensor.Mat
+module Vec = Ivan_tensor.Vec
+
+type t = { layers : Layer.t array }
+
+type trace = { pre : Vec.t array; post : Vec.t array }
+
+let make layer_list =
+  let layers = Array.of_list layer_list in
+  if Array.length layers = 0 then invalid_arg "Network.make: empty network";
+  for i = 0 to Array.length layers - 2 do
+    if Layer.output_dim layers.(i) <> Layer.input_dim layers.(i + 1) then
+      invalid_arg
+        (Printf.sprintf "Network.make: layer %d outputs %d but layer %d expects %d" i
+           (Layer.output_dim layers.(i)) (i + 1)
+           (Layer.input_dim layers.(i + 1)))
+  done;
+  { layers }
+
+let layers n = n.layers
+
+let num_layers n = Array.length n.layers
+
+let input_dim n = Layer.input_dim n.layers.(0)
+
+let output_dim n = Layer.output_dim n.layers.(Array.length n.layers - 1)
+
+let forward n x =
+  if Vec.dim x <> input_dim n then invalid_arg "Network.forward: input dimension mismatch";
+  Array.fold_left (fun acc layer -> Layer.forward layer acc) x n.layers
+
+let forward_trace n x =
+  if Vec.dim x <> input_dim n then invalid_arg "Network.forward_trace: input dimension mismatch";
+  let count = Array.length n.layers in
+  let pre = Array.make count [||] in
+  let post = Array.make count [||] in
+  let current = ref x in
+  for i = 0 to count - 1 do
+    let p = Layer.pre_activation n.layers.(i) !current in
+    pre.(i) <- p;
+    let q = Layer.apply_activation (Layer.activation n.layers.(i)) p in
+    post.(i) <- q;
+    current := q
+  done;
+  { pre; post }
+
+let relu_ids n =
+  let ids = ref [] in
+  for layer = Array.length n.layers - 1 downto 0 do
+    match Layer.negative_slope (Layer.activation n.layers.(layer)) with
+    | Some _ ->
+        for index = Layer.output_dim n.layers.(layer) - 1 downto 0 do
+          ids := Relu_id.make ~layer ~index :: !ids
+        done
+    | None -> ()
+  done;
+  Array.of_list !ids
+
+let num_relus n =
+  Array.fold_left
+    (fun acc l ->
+      match Layer.negative_slope (Layer.activation l) with
+      | Some _ -> acc + Layer.output_dim l
+      | None -> acc)
+    0 n.layers
+
+let num_neurons n = Array.fold_left (fun acc l -> acc + Layer.output_dim l) 0 n.layers
+
+let layer_dense n i = Layer.dense_affine n.layers.(i)
+
+let precompute_dense n = Array.iter (fun l -> ignore (Layer.dense_affine l)) n.layers
+
+let map_weights f n = { layers = Array.map (Layer.map_weights f) n.layers }
+
+let same_architecture a b =
+  Array.length a.layers = Array.length b.layers
+  && Array.for_all2
+       (fun la lb ->
+         Layer.input_dim la = Layer.input_dim lb
+         && Layer.output_dim la = Layer.output_dim lb
+         && Layer.activation la = Layer.activation lb)
+       a.layers b.layers
+
+let last_dense n =
+  let last = n.layers.(Array.length n.layers - 1) in
+  match Layer.affine last with
+  | Layer.Dense { weights; bias } -> (weights, bias)
+  | Layer.Conv2d _ -> invalid_arg "Network.last_dense: final layer is a convolution"
+
+let replace_last_dense n weights =
+  let count = Array.length n.layers in
+  let last = n.layers.(count - 1) in
+  match Layer.affine last with
+  | Layer.Conv2d _ -> invalid_arg "Network.replace_last_dense: final layer is a convolution"
+  | Layer.Dense { weights = old; bias } ->
+      if Mat.rows weights <> Mat.rows old || Mat.cols weights <> Mat.cols old then
+        invalid_arg "Network.replace_last_dense: shape mismatch";
+      let replaced = Layer.make (Layer.Dense { weights; bias }) (Layer.activation last) in
+      { layers = Array.init count (fun i -> if i = count - 1 then replaced else n.layers.(i)) }
+
+let pp_summary fmt n =
+  Format.fprintf fmt "@[<v>network: %d layers, %d neurons, %d relus@," (num_layers n)
+    (num_neurons n) (num_relus n);
+  Array.iteri
+    (fun i l ->
+      let kind =
+        match Layer.affine l with Layer.Dense _ -> "dense" | Layer.Conv2d _ -> "conv2d"
+      in
+      let act =
+        match Layer.activation l with
+        | Layer.Relu -> "relu"
+        | Layer.Identity -> "id"
+        | Layer.Leaky_relu slope -> Printf.sprintf "leaky(%g)" slope
+        | Layer.Sigmoid -> "sigmoid"
+        | Layer.Tanh -> "tanh"
+      in
+      Format.fprintf fmt "  layer %d: %s %d -> %d, %s@," i kind (Layer.input_dim l)
+        (Layer.output_dim l) act)
+    n.layers;
+  Format.fprintf fmt "@]"

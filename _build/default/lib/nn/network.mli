@@ -1,0 +1,66 @@
+(** Layered feed-forward networks.
+
+    A network is a sequential composition of {!Layer.t}; consecutive
+    layer dimensions must chain.  Networks are immutable; weight updates
+    produce fresh networks. *)
+
+type t
+
+type trace = {
+  pre : Ivan_tensor.Vec.t array;  (** pre-activation of each layer *)
+  post : Ivan_tensor.Vec.t array;  (** post-activation of each layer *)
+}
+
+val make : Layer.t list -> t
+(** @raise Invalid_argument on an empty list or mismatched dimensions. *)
+
+val layers : t -> Layer.t array
+(** The underlying layers; do not mutate. *)
+
+val num_layers : t -> int
+
+val input_dim : t -> int
+
+val output_dim : t -> int
+
+val forward : t -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+(** Network output for a concrete input.
+    @raise Invalid_argument on input dimension mismatch. *)
+
+val forward_trace : t -> Ivan_tensor.Vec.t -> trace
+(** Output along with all intermediate pre/post activations. *)
+
+val relu_ids : t -> Relu_id.t array
+(** Every ReLU unit of the architecture, in (layer, index) order. *)
+
+val num_relus : t -> int
+
+val num_neurons : t -> int
+(** Total hidden + output neurons (the paper's "#Neurons" column). *)
+
+val layer_dense : t -> int -> Ivan_tensor.Mat.t * Ivan_tensor.Vec.t
+(** Dense affine map of layer [i] (convolutions lowered and cached). *)
+
+val precompute_dense : t -> unit
+(** Force every layer's dense lowering into its cache.  The lazy cache
+    writes are not synchronized, so call this before sharing a network
+    across domains. *)
+
+val map_weights : (float -> float) -> t -> t
+
+val same_architecture : t -> t -> bool
+(** True when the two networks have identical layer shapes and
+    activations (weights may differ) — the precondition for replaying a
+    specification tree. *)
+
+val replace_last_dense : t -> Ivan_tensor.Mat.t -> t
+(** Replace the weight matrix of the final layer, which must be dense.
+    Used by last-layer perturbation experiments (paper §4.4).
+    @raise Invalid_argument if the last layer is a convolution or the
+    shape differs. *)
+
+val last_dense : t -> Ivan_tensor.Mat.t * Ivan_tensor.Vec.t
+(** Weights and bias of the final layer.  @raise Invalid_argument if the
+    final layer is a convolution. *)
+
+val pp_summary : Format.formatter -> t -> unit

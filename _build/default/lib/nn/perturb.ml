@@ -1,0 +1,47 @@
+module Mat = Ivan_tensor.Mat
+module Rng = Ivan_tensor.Rng
+
+let random_relative ~rng ~fraction n =
+  Network.map_weights (fun w -> w *. (1.0 +. Rng.uniform rng (-.fraction) fraction)) n
+
+let random_additive ~rng ~magnitude n =
+  Network.map_weights (fun w -> w +. Rng.uniform rng (-.magnitude) magnitude) n
+
+let last_layer ~rng ~delta n =
+  let weights, _bias = Network.last_dense n in
+  let rows = Mat.rows weights and cols = Mat.cols weights in
+  let raw = Mat.init rows cols (fun _ _ -> Rng.gaussian rng) in
+  let norm = Mat.frobenius_norm raw in
+  let e = if norm = 0.0 then raw else Mat.scale (delta /. norm) raw in
+  Network.replace_last_dense n (Mat.add weights e)
+
+(* Per-tensor threshold at the [fraction] quantile of |w|. *)
+let prune_threshold ~fraction magnitudes =
+  if Array.length magnitudes = 0 then 0.0
+  else begin
+    let sorted = Array.copy magnitudes in
+    Array.sort compare sorted;
+    let k = int_of_float (fraction *. float_of_int (Array.length sorted)) in
+    if k <= 0 then -1.0 (* prune nothing: every |w| > -1 *)
+    else sorted.(min (k - 1) (Array.length sorted - 1))
+  end
+
+let magnitude_prune ~fraction n =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Perturb.magnitude_prune: fraction must be in [0, 1]";
+  let prune_layer layer =
+    let affine =
+      match Layer.affine layer with
+      | Layer.Dense { weights; bias } ->
+          let flat = Array.concat (Array.to_list (Mat.to_arrays weights)) in
+          let threshold = prune_threshold ~fraction (Array.map Float.abs flat) in
+          let weights = Mat.map (fun w -> if Float.abs w <= threshold then 0.0 else w) weights in
+          Layer.Dense { weights; bias }
+      | Layer.Conv2d { spec; kernel; bias } ->
+          let threshold = prune_threshold ~fraction (Array.map Float.abs kernel) in
+          let kernel = Array.map (fun w -> if Float.abs w <= threshold then 0.0 else w) kernel in
+          Layer.Conv2d { spec; kernel; bias }
+    in
+    Layer.make affine (Layer.activation layer)
+  in
+  Network.make (List.map prune_layer (Array.to_list (Network.layers n)))

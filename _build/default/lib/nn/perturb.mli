@@ -1,0 +1,25 @@
+(** Network weight perturbations.
+
+    The update classes the paper evaluates besides quantization:
+    uniform random relative noise (the §6.5 stress test) and bounded
+    last-layer perturbation (the §4.4 theory setting). *)
+
+val random_relative : rng:Ivan_tensor.Rng.t -> fraction:float -> Network.t -> Network.t
+(** Multiply every weight and bias by [1 + u] with [u] uniform in
+    [\[-fraction, fraction\]].  [fraction = 0.02] is the paper's "2%"
+    column. *)
+
+val random_additive : rng:Ivan_tensor.Rng.t -> magnitude:float -> Network.t -> Network.t
+(** Add independent uniform noise in [\[-magnitude, magnitude\]] to every
+    weight and bias. *)
+
+val last_layer : rng:Ivan_tensor.Rng.t -> delta:float -> Network.t -> Network.t
+(** Add to the final dense layer's weight matrix a random perturbation
+    matrix [E] scaled so that its Frobenius norm is exactly [delta]
+    (Definition 11's [M(N, delta)] with a tight budget).
+    @raise Invalid_argument if the final layer is a convolution. *)
+
+val magnitude_prune : fraction:float -> Network.t -> Network.t
+(** Weight pruning (the intro's third approximation class): zero out the
+    smallest-magnitude [fraction] of each layer's weights (biases are
+    kept).  @raise Invalid_argument unless [0 <= fraction <= 1]. *)

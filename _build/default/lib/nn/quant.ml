@@ -1,0 +1,40 @@
+module Mat = Ivan_tensor.Mat
+module Vec = Ivan_tensor.Vec
+
+type scheme = Int8 | Int16 | Bits of int
+
+let bits_of_scheme = function Int8 -> 8 | Int16 -> 16 | Bits b -> b
+
+let scheme_name = function Int8 -> "int8" | Int16 -> "int16" | Bits b -> Printf.sprintf "int%d" b
+
+let quantize_value ~scale v = if scale = 0.0 then 0.0 else Float.round (v /. scale) *. scale
+
+let tensor_scale ~bits values =
+  if bits < 2 then invalid_arg "Quant.tensor_scale: need at least 2 bits";
+  let max_abs = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 values in
+  let levels = float_of_int ((1 lsl (bits - 1)) - 1) in
+  if max_abs = 0.0 then 0.0 else max_abs /. levels
+
+let quantize_array ~bits a =
+  let scale = tensor_scale ~bits a in
+  Array.map (quantize_value ~scale) a
+
+let quantize_layer ~bits layer =
+  let affine =
+    match Layer.affine layer with
+    | Layer.Dense { weights; bias } ->
+        let flat = Array.concat (Array.to_list (Mat.to_arrays weights)) in
+        let scale = tensor_scale ~bits flat in
+        let weights = Mat.map (quantize_value ~scale) weights in
+        let bias = quantize_array ~bits bias in
+        Layer.Dense { weights; bias }
+    | Layer.Conv2d { spec; kernel; bias } ->
+        let kernel = quantize_array ~bits kernel in
+        let bias = quantize_array ~bits bias in
+        Layer.Conv2d { spec; kernel; bias }
+  in
+  Layer.make affine (Layer.activation layer)
+
+let network scheme n =
+  let bits = bits_of_scheme scheme in
+  Network.make (List.map (quantize_layer ~bits) (Array.to_list (Network.layers n)))

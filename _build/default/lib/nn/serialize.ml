@@ -1,0 +1,127 @@
+module Mat = Ivan_tensor.Mat
+
+let activation_name = function
+  | Layer.Relu -> "relu"
+  | Layer.Identity -> "identity"
+  | Layer.Leaky_relu slope -> Printf.sprintf "leaky:%h" slope
+  | Layer.Sigmoid -> "sigmoid"
+  | Layer.Tanh -> "tanh"
+
+let activation_of_name s =
+  match s with
+  | "relu" -> Layer.Relu
+  | "identity" -> Layer.Identity
+  | "sigmoid" -> Layer.Sigmoid
+  | "tanh" -> Layer.Tanh
+  | _ -> (
+      match String.split_on_char ':' s with
+      | [ "leaky"; slope ] -> Layer.Leaky_relu (float_of_string slope)
+      | _ -> failwith (Printf.sprintf "Serialize: unknown activation %S" s))
+
+let floats_line prefix values =
+  let buf = Buffer.create (16 * Array.length values) in
+  Buffer.add_string buf prefix;
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%h" v))
+    values;
+  Buffer.contents buf
+
+let parse_floats_line expected_prefix line =
+  match String.split_on_char ' ' (String.trim line) with
+  | prefix :: rest when prefix = expected_prefix ->
+      Array.of_list (List.map (fun s -> float_of_string s) rest)
+  | _ -> failwith (Printf.sprintf "Serialize: expected %S line, got %S" expected_prefix line)
+
+let to_string n =
+  let buf = Buffer.create 4096 in
+  let layers = Network.layers n in
+  Buffer.add_string buf (Printf.sprintf "network %d\n" (Array.length layers));
+  Array.iter
+    (fun layer ->
+      (match Layer.affine layer with
+      | Layer.Dense { weights; bias } ->
+          Buffer.add_string buf
+            (Printf.sprintf "layer dense %d %d %s\n" (Mat.rows weights) (Mat.cols weights)
+               (activation_name (Layer.activation layer)));
+          Buffer.add_string buf (floats_line "bias:" bias);
+          Buffer.add_char buf '\n';
+          for i = 0 to Mat.rows weights - 1 do
+            Buffer.add_string buf (floats_line "row:" (Mat.row weights i));
+            Buffer.add_char buf '\n'
+          done
+      | Layer.Conv2d { spec; kernel; bias } ->
+          Buffer.add_string buf
+            (Printf.sprintf "layer conv %d %d %d %d %d %d %d %d %s\n" spec.in_channels
+               spec.in_height spec.in_width spec.out_channels spec.kernel_h spec.kernel_w
+               spec.stride spec.padding
+               (activation_name (Layer.activation layer)));
+          Buffer.add_string buf (floats_line "bias:" bias);
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf (floats_line "kernel:" kernel);
+          Buffer.add_char buf '\n'))
+    layers;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  let lines = ref lines in
+  let next () =
+    match !lines with
+    | [] -> failwith "Serialize: unexpected end of input"
+    | l :: rest ->
+        lines := rest;
+        String.trim l
+  in
+  let header = next () in
+  let count =
+    match String.split_on_char ' ' header with
+    | [ "network"; c ] -> int_of_string c
+    | _ -> failwith (Printf.sprintf "Serialize: bad header %S" header)
+  in
+  let parse_layer () =
+    let decl = next () in
+    match String.split_on_char ' ' decl with
+    | [ "layer"; "dense"; rows; cols; act ] ->
+        let rows = int_of_string rows and cols = int_of_string cols in
+        let bias = parse_floats_line "bias:" (next ()) in
+        let weight_rows = Array.init rows (fun _ -> parse_floats_line "row:" (next ())) in
+        Array.iter
+          (fun r ->
+            if Array.length r <> cols then failwith "Serialize: dense row length mismatch")
+          weight_rows;
+        Layer.make
+          (Layer.Dense { weights = Mat.of_arrays weight_rows; bias })
+          (activation_of_name act)
+    | [ "layer"; "conv"; in_c; in_h; in_w; out_c; kh; kw; stride; pad; act ] ->
+        let spec =
+          {
+            Layer.in_channels = int_of_string in_c;
+            in_height = int_of_string in_h;
+            in_width = int_of_string in_w;
+            out_channels = int_of_string out_c;
+            kernel_h = int_of_string kh;
+            kernel_w = int_of_string kw;
+            stride = int_of_string stride;
+            padding = int_of_string pad;
+          }
+        in
+        let bias = parse_floats_line "bias:" (next ()) in
+        let kernel = parse_floats_line "kernel:" (next ()) in
+        Layer.make (Layer.Conv2d { spec; kernel; bias }) (activation_of_name act)
+    | _ -> failwith (Printf.sprintf "Serialize: bad layer declaration %S" decl)
+  in
+  Network.make (List.init count (fun _ -> parse_layer ()))
+
+let to_file path n =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string n))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,22 @@
+(** Network (de)serialization.
+
+    A line-oriented text format with hexadecimal float literals, so a
+    save/load round trip is bit-exact.  Format:
+
+    {v network <layer-count>
+layer dense <rows> <cols> <relu|identity>
+bias: <hex floats>
+row: <hex floats>          (one line per weight row)
+layer conv <in_c> <in_h> <in_w> <out_c> <kh> <kw> <stride> <pad> <relu|identity>
+bias: <hex floats>
+kernel: <hex floats> v} *)
+
+val to_string : Network.t -> string
+
+val of_string : string -> Network.t
+(** @raise Failure on malformed input. *)
+
+val to_file : string -> Network.t -> unit
+
+val of_file : string -> Network.t
+(** @raise Sys_error if the file cannot be read; [Failure] if malformed. *)

@@ -1,0 +1,1 @@
+lib/spec/box.ml: Array Float Format Ivan_tensor

@@ -1,0 +1,1 @@
+lib/spec/box.mli: Format Ivan_tensor

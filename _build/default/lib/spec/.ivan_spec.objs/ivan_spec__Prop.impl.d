@@ -1,0 +1,1 @@
+lib/spec/prop.ml: Array Box Format Ivan_tensor

@@ -1,0 +1,1 @@
+lib/spec/prop.mli: Box Format Ivan_tensor

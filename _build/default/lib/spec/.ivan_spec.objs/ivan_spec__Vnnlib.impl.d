@@ -1,0 +1,1 @@
+lib/spec/vnnlib.ml: Array Box Buffer Filename Float Fun In_channel Ivan_tensor List Printf Prop String

@@ -1,0 +1,1 @@
+lib/spec/vnnlib.mli: Prop

@@ -1,0 +1,69 @@
+module Vec = Ivan_tensor.Vec
+module Rng = Ivan_tensor.Rng
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+let make ~lo ~hi =
+  if Vec.dim lo <> Vec.dim hi then invalid_arg "Box.make: dimension mismatch";
+  Array.iteri (fun i l -> if l > hi.(i) then invalid_arg "Box.make: lo > hi") lo;
+  { lo = Vec.copy lo; hi = Vec.copy hi }
+
+let of_center ~center ~radius =
+  if radius < 0.0 then invalid_arg "Box.of_center: negative radius";
+  {
+    lo = Vec.map (fun v -> v -. radius) center;
+    hi = Vec.map (fun v -> v +. radius) center;
+  }
+
+let clip ~lo:l ~hi:h b =
+  let lo = Vec.map (fun v -> Float.max v l) b.lo in
+  let hi = Vec.map (fun v -> Float.min v h) b.hi in
+  Array.iteri (fun i v -> if v > hi.(i) then invalid_arg "Box.clip: empty intersection") lo;
+  { lo; hi }
+
+let dim b = Vec.dim b.lo
+
+let lo b = Vec.copy b.lo
+
+let hi b = Vec.copy b.hi
+
+let lo_at b i = b.lo.(i)
+
+let hi_at b i = b.hi.(i)
+
+let width b i = b.hi.(i) -. b.lo.(i)
+
+let max_width b =
+  let best = ref 0.0 in
+  for i = 0 to dim b - 1 do
+    best := Float.max !best (width b i)
+  done;
+  !best
+
+let center b = Vec.map2 (fun l h -> 0.5 *. (l +. h)) b.lo b.hi
+
+let contains b x =
+  Vec.dim x = dim b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i v -> if v < b.lo.(i) -. 1e-12 || v > b.hi.(i) +. 1e-12 then ok := false) x;
+       !ok
+     end
+
+let clamp b x = Vec.map2 (fun v l -> Float.max v l) x b.lo |> fun v -> Vec.map2 (fun v h -> Float.min v h) v b.hi
+
+let sample ~rng b = Vec.map2 (fun l h -> if l = h then l else Rng.uniform rng l h) b.lo b.hi
+
+let split_dim b i =
+  if i < 0 || i >= dim b then invalid_arg "Box.split_dim: dimension out of range";
+  let mid = 0.5 *. (b.lo.(i) +. b.hi.(i)) in
+  let hi_left = Vec.copy b.hi in
+  hi_left.(i) <- mid;
+  let lo_right = Vec.copy b.lo in
+  lo_right.(i) <- mid;
+  ({ lo = Vec.copy b.lo; hi = hi_left }, { lo = lo_right; hi = Vec.copy b.hi })
+
+let equal ?(eps = 1e-12) a b = Vec.equal ~eps a.lo b.lo && Vec.equal ~eps a.hi b.hi
+
+let pp fmt b =
+  Format.fprintf fmt "@[box lo=%a hi=%a@]" Vec.pp b.lo Vec.pp b.hi

@@ -1,0 +1,49 @@
+(** Axis-aligned boxes — the input regions [phi] of Definition 1.
+
+    All local-robustness and ACAS-XU input specifications in the paper
+    are boxes (L-infinity balls or the VNN-COMP input ranges). *)
+
+type t
+
+val make : lo:Ivan_tensor.Vec.t -> hi:Ivan_tensor.Vec.t -> t
+(** @raise Invalid_argument if dims differ or some [lo > hi]. *)
+
+val of_center : center:Ivan_tensor.Vec.t -> radius:float -> t
+(** The L-infinity ball of the given radius. *)
+
+val clip : lo:float -> hi:float -> t -> t
+(** Intersect every dimension with [\[lo, hi\]] (e.g. valid pixel range).
+    @raise Invalid_argument if the intersection is empty in some dim. *)
+
+val dim : t -> int
+
+val lo : t -> Ivan_tensor.Vec.t
+(** Fresh copy of the lower corner. *)
+
+val hi : t -> Ivan_tensor.Vec.t
+
+val lo_at : t -> int -> float
+
+val hi_at : t -> int -> float
+
+val width : t -> int -> float
+
+val max_width : t -> float
+
+val center : t -> Ivan_tensor.Vec.t
+
+val contains : t -> Ivan_tensor.Vec.t -> bool
+
+val clamp : t -> Ivan_tensor.Vec.t -> Ivan_tensor.Vec.t
+(** Project a point onto the box. *)
+
+val sample : rng:Ivan_tensor.Rng.t -> t -> Ivan_tensor.Vec.t
+(** Uniform sample from the box. *)
+
+val split_dim : t -> int -> t * t
+(** Halve the box along the given dimension (input-splitting branching).
+    @raise Invalid_argument on an out-of-range dimension. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

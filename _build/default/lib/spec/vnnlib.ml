@@ -1,0 +1,234 @@
+module Vec = Ivan_tensor.Vec
+
+(* ---------------- s-expressions ---------------- *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize s =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let in_comment = ref false in
+  String.iter
+    (fun ch ->
+      if !in_comment then begin if ch = '\n' then in_comment := false end
+      else
+        match ch with
+        | ';' ->
+            flush ();
+            in_comment := true
+        | '(' ->
+            flush ();
+            tokens := "(" :: !tokens
+        | ')' ->
+            flush ();
+            tokens := ")" :: !tokens
+        | ' ' | '\t' | '\n' | '\r' -> flush ()
+        | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !tokens
+
+let parse_sexps tokens =
+  let rec parse_one = function
+    | [] -> failwith "Vnnlib: unexpected end of input"
+    | "(" :: rest ->
+        let items, rest = parse_list rest in
+        (List items, rest)
+    | ")" :: _ -> failwith "Vnnlib: unexpected ')'"
+    | atom :: rest -> (Atom atom, rest)
+  and parse_list tokens =
+    match tokens with
+    | ")" :: rest -> ([], rest)
+    | [] -> failwith "Vnnlib: unbalanced parentheses"
+    | _ ->
+        let item, rest = parse_one tokens in
+        let items, rest = parse_list rest in
+        (item :: items, rest)
+  in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | tokens ->
+        let item, rest = parse_one tokens in
+        top (item :: acc) rest
+  in
+  top [] tokens
+
+(* ---------------- variables ---------------- *)
+
+type var = Input of int | Output of int
+
+let var_of_name name =
+  let parse_index prefix =
+    let plen = String.length prefix in
+    if String.length name > plen && String.sub name 0 plen = prefix then
+      int_of_string_opt (String.sub name plen (String.length name - plen))
+    else None
+  in
+  match parse_index "X_" with
+  | Some i -> Some (Input i)
+  | None -> ( match parse_index "Y_" with Some j -> Some (Output j) | None -> None)
+
+(* Linear expression over outputs: coefficients per Y_j plus constant.
+   Inputs are not allowed inside output assertions (and vice versa). *)
+type linexp = { coeffs : (int * float) list; const : float }
+
+let const_exp c = { coeffs = []; const = c }
+
+let add_exp a b = { coeffs = a.coeffs @ b.coeffs; const = a.const +. b.const }
+
+let scale_exp k e =
+  { coeffs = List.map (fun (j, c) -> (j, k *. c)) e.coeffs; const = k *. e.const }
+
+let rec linexp_of_sexp = function
+  | Atom a -> (
+      match var_of_name a with
+      | Some (Output j) -> { coeffs = [ (j, 1.0) ]; const = 0.0 }
+      | Some (Input _) -> failwith "Vnnlib: input variable inside an output expression"
+      | None -> (
+          match float_of_string_opt a with
+          | Some c -> const_exp c
+          | None -> failwith (Printf.sprintf "Vnnlib: unknown atom %S" a)))
+  | List (Atom "+" :: args) ->
+      List.fold_left (fun acc e -> add_exp acc (linexp_of_sexp e)) (const_exp 0.0) args
+  | List [ Atom "-"; a ] -> scale_exp (-1.0) (linexp_of_sexp a)
+  | List (Atom "-" :: a :: rest) ->
+      List.fold_left
+        (fun acc e -> add_exp acc (scale_exp (-1.0) (linexp_of_sexp e)))
+        (linexp_of_sexp a) rest
+  | List [ Atom "*"; a; b ] -> (
+      match (linexp_of_sexp a, linexp_of_sexp b) with
+      | { coeffs = []; const = k }, e | e, { coeffs = []; const = k } -> scale_exp k e
+      | _, _ -> failwith "Vnnlib: non-linear product")
+  | List _ -> failwith "Vnnlib: unsupported expression form"
+
+(* ---------------- assertions ---------------- *)
+
+type parsed = {
+  mutable input_lo : (int * float) list;
+  mutable input_hi : (int * float) list;
+  mutable num_inputs : int;
+  mutable num_outputs : int;
+  (* the single unsafe-set constraint, as "expr >= 0" *)
+  mutable unsafe : linexp option;
+}
+
+let record_output_constraint p exp =
+  match p.unsafe with
+  | Some _ ->
+      failwith
+        "Vnnlib: multiple output assertions (conjunctive unsafe sets) are outside the supported \
+         fragment"
+  | None -> p.unsafe <- Some exp
+
+(* (op lhs rhs): an input bound or an output constraint. *)
+let handle_assert p op lhs rhs =
+  let as_input_bound side =
+    match (lhs, rhs) with
+    | Atom a, Atom b -> (
+        match (var_of_name a, float_of_string_opt b) with
+        | Some (Input i), Some c -> Some (i, c, side)
+        | _, _ -> (
+            match (float_of_string_opt a, var_of_name b) with
+            | Some c, Some (Input i) ->
+                (* constant op var: flip the side *)
+                Some (i, c, not side)
+            | _, _ -> None))
+    | _, _ -> None
+  in
+  (* side = true means "var <= const". *)
+  let upper = op = "<=" in
+  match as_input_bound upper with
+  | Some (i, c, true) -> p.input_hi <- (i, c) :: p.input_hi
+  | Some (i, c, false) -> p.input_lo <- (i, c) :: p.input_lo
+  | None ->
+      (* Output constraint: normalize to expr >= 0 describing UNSAFE. *)
+      let l = linexp_of_sexp lhs and r = linexp_of_sexp rhs in
+      let exp =
+        if op = ">=" then add_exp l (scale_exp (-1.0) r) else add_exp r (scale_exp (-1.0) l)
+      in
+      record_output_constraint p exp
+
+let parse text ~name =
+  let sexps = parse_sexps (tokenize text) in
+  let p = { input_lo = []; input_hi = []; num_inputs = 0; num_outputs = 0; unsafe = None } in
+  List.iter
+    (fun sexp ->
+      match sexp with
+      | List [ Atom "declare-const"; Atom v; Atom "Real" ] -> (
+          match var_of_name v with
+          | Some (Input i) -> p.num_inputs <- max p.num_inputs (i + 1)
+          | Some (Output j) -> p.num_outputs <- max p.num_outputs (j + 1)
+          | None -> failwith (Printf.sprintf "Vnnlib: unrecognized variable %S" v))
+      | List [ Atom "assert"; List [ Atom (("<=" | ">=") as op); lhs; rhs ] ] ->
+          handle_assert p op lhs rhs
+      | List (Atom "assert" :: List (Atom "or" :: _) :: _) ->
+          failwith "Vnnlib: disjunctive properties are outside the supported fragment"
+      | List (Atom "assert" :: _) -> failwith "Vnnlib: unsupported assertion form"
+      | List (Atom other :: _) -> failwith (Printf.sprintf "Vnnlib: unsupported command %S" other)
+      | Atom a -> failwith (Printf.sprintf "Vnnlib: stray atom %S" a)
+      | List _ -> failwith "Vnnlib: unsupported form")
+    sexps;
+  if p.num_inputs = 0 then failwith "Vnnlib: no input variables declared";
+  if p.num_outputs = 0 then failwith "Vnnlib: no output variables declared";
+  let lo = Array.make p.num_inputs nan and hi = Array.make p.num_inputs nan in
+  List.iter (fun (i, c) -> if Float.is_nan lo.(i) || c > lo.(i) then lo.(i) <- c) p.input_lo;
+  List.iter (fun (i, c) -> if Float.is_nan hi.(i) || c < hi.(i) then hi.(i) <- c) p.input_hi;
+  Array.iteri
+    (fun i v ->
+      if Float.is_nan v || Float.is_nan hi.(i) then
+        failwith (Printf.sprintf "Vnnlib: input X_%d is not bounded on both sides" i))
+    lo;
+  let input = Box.make ~lo ~hi in
+  match p.unsafe with
+  | None -> failwith "Vnnlib: no output assertion found"
+  | Some unsafe ->
+      (* Unsafe set: unsafe_expr >= 0.  The property (safety) is its
+         negation: -unsafe_expr > 0, represented in the closed >= form. *)
+      let c = Vec.zeros p.num_outputs in
+      List.iter (fun (j, k) -> c.(j) <- c.(j) -. k) unsafe.coeffs;
+      Prop.make ~name ~input ~c ~offset:(-.unsafe.const)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic) ~name:(Filename.basename path))
+
+let print (prop : Prop.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "; property %s\n" prop.Prop.name);
+  let d = Box.dim prop.Prop.input in
+  for i = 0 to d - 1 do
+    Buffer.add_string buf (Printf.sprintf "(declare-const X_%d Real)\n" i)
+  done;
+  let m = Vec.dim prop.Prop.c in
+  for j = 0 to m - 1 do
+    Buffer.add_string buf (Printf.sprintf "(declare-const Y_%d Real)\n" j)
+  done;
+  for i = 0 to d - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "(assert (>= X_%d %.17g))\n(assert (<= X_%d %.17g))\n" i
+         (Box.lo_at prop.Prop.input i) i (Box.hi_at prop.Prop.input i))
+  done;
+  (* Unsafe set = negation of psi: -(c . Y) - offset >= 0. *)
+  let terms =
+    List.filter_map
+      (fun j ->
+        let k = -.prop.Prop.c.(j) in
+        if k = 0.0 then None else Some (Printf.sprintf "(* %.17g Y_%d)" k j))
+      (List.init m (fun j -> j))
+  in
+  let sum =
+    match terms with
+    | [] -> "0.0"
+    | [ t ] -> t
+    | ts -> Printf.sprintf "(+ %s)" (String.concat " " ts)
+  in
+  Buffer.add_string buf (Printf.sprintf "(assert (>= %s %.17g))\n" sum prop.Prop.offset);
+  Buffer.contents buf

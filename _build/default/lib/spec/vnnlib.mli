@@ -1,0 +1,27 @@
+(** VNN-LIB property files (the VNN-COMP exchange subset).
+
+    A VNN-LIB file declares input variables [X_i] and output variables
+    [Y_j] and asserts (a) bounds on every input — the box — and (b)
+    constraints on the outputs describing the {e unsafe} set; the
+    property holds when no input in the box reaches the unsafe set.
+
+    This parser supports the fragment that maps onto this library's
+    property form: box input constraints and exactly one linear output
+    assertion (so its negation is again one linear constraint).
+    Disjunctions ([or]) and multiple output assertions are rejected with
+    a clear error rather than silently mis-handled. *)
+
+val parse : string -> name:string -> Prop.t
+(** Parse the file contents into a property: the input box, and
+    [psi = not (unsafe constraint)] in [C^T Y + d >= 0] form.
+    @raise Failure on syntax errors, unbounded inputs, or unsupported
+    fragments. *)
+
+val parse_file : string -> Prop.t
+(** Parse from a path, using the file name as property name.
+    @raise Sys_error / [Failure]. *)
+
+val print : Prop.t -> string
+(** Render a property back to VNN-LIB (input bounds plus the negated
+    output constraint as the unsafe set).  [parse (print p)] yields a
+    property equivalent to [p]. *)

@@ -1,0 +1,1 @@
+lib/spectree/decision.ml: Format Int Ivan_domains Ivan_nn Printf String

@@ -1,0 +1,1 @@
+lib/spectree/decision.mli: Format Ivan_domains Ivan_nn

@@ -1,0 +1,1 @@
+lib/spectree/tree.ml: Buffer Decision Float Format Ivan_domains Ivan_spec List Printf String

@@ -1,0 +1,1 @@
+lib/spectree/tree.mli: Decision Format Ivan_domains Ivan_spec

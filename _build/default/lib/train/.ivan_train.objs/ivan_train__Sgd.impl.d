@@ -1,0 +1,1 @@
+lib/train/sgd.ml: Array Float Ivan_nn Ivan_tensor

@@ -1,0 +1,1 @@
+lib/train/sgd.mli: Ivan_nn Ivan_tensor

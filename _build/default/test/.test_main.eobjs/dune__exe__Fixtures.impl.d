@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Float Ivan_nn Ivan_spec Ivan_tensor Printf

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Array Fixtures Float Ivan_analyzer Ivan_bab Ivan_domains Ivan_nn Ivan_spec Ivan_tensor List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bab.ml: Alcotest Fixtures Float Ivan_analyzer Ivan_bab Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List Printf QCheck QCheck_alcotest

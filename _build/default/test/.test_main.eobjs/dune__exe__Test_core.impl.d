@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Fixtures Float Fun Ivan_analyzer Ivan_bab Ivan_core Ivan_domains Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List QCheck QCheck_alcotest String Sys

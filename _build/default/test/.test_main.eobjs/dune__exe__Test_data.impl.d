@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Filename Fun Ivan_data Ivan_nn Ivan_spec Ivan_tensor List Sys

@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Array Fixtures Float Ivan_domains Ivan_nn Ivan_spec Ivan_tensor Layer List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ivan_bab Ivan_core Ivan_data Ivan_harness Ivan_nn Ivan_spec Ivan_tensor Lazy List

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Buffer Filename Format Fun Ivan_analyzer Ivan_bab Ivan_core Ivan_data Ivan_harness Ivan_nn Ivan_spec Ivan_tensor Lazy List String Sys

@@ -1,0 +1,1 @@
+test/test_leaky.ml: Alcotest Array Fixtures Ivan_analyzer Ivan_bab Ivan_core Ivan_domains Ivan_nn Ivan_spec Ivan_tensor Ivan_train List

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Ivan_lp Ivan_tensor List QCheck QCheck_alcotest

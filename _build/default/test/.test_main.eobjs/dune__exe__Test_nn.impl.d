@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun Ivan_nn Ivan_tensor List Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Fixtures Ivan_analyzer Ivan_bab Ivan_spec Ivan_tensor

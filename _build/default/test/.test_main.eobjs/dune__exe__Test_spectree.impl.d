@@ -1,0 +1,1 @@
+test/test_spectree.ml: Alcotest Array Fixtures Float Ivan_domains Ivan_nn Ivan_spec Ivan_spectree Ivan_tensor List QCheck QCheck_alcotest

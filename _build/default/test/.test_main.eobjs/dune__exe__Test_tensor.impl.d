@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Ivan_tensor QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Ivan_nn Ivan_tensor Ivan_train Printf

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "ivan"
+    [
+      ("tensor", Test_tensor.suite);
+      ("lp", Test_lp.suite);
+      ("nn", Test_nn.suite);
+      ("spec", Test_spec.suite);
+      ("train", Test_train.suite);
+      ("data", Test_data.suite);
+      ("domains", Test_domains.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("spectree", Test_spectree.suite);
+      ("bab", Test_bab.suite);
+      ("core", Test_core.suite);
+      ("harness", Test_harness.suite);
+      ("leaky", Test_leaky.suite);
+      ("smooth", Test_smooth.suite);
+      ("integration", Test_integration.suite);
+    ]
