@@ -18,12 +18,15 @@ module Quant = Ivan_nn.Quant
 module Perturb = Ivan_nn.Perturb
 module Serialize = Ivan_nn.Serialize
 module Bab = Ivan_bab.Bab
+module Frontier = Ivan_bab.Frontier
+module Trace = Ivan_bab.Trace
 module Ivan = Ivan_core.Ivan
 module Zoo = Ivan_data.Zoo
 module Runner = Ivan_harness.Runner
 module Workload = Ivan_harness.Workload
 module Report = Ivan_harness.Report
 module Experiments = Ivan_harness.Experiments
+module Clock = Ivan_harness.Clock
 
 open Cmdliner
 
@@ -75,16 +78,45 @@ let budget_arg =
   let doc = "Analyzer-call budget per instance." in
   Arg.(value & opt int 400 & info [ "budget" ] ~docv:"CALLS" ~doc)
 
+let strategy_arg =
+  let doc = "Frontier exploration order: fifo (breadth-first, the default), lifo (depth-first) \
+             or best (lowest analyzer bound first)." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fifo", Frontier.Fifo); ("lifo", Frontier.Lifo); ("best", Frontier.Best_first);
+           ])
+        Frontier.Fifo
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let trace_out_arg =
+  let doc = "Write a JSONL engine trace (one event per line) to FILE." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Runs the body with a trace sink for [path] (null when absent); after
+   the body returns, reads the file back and prints the aggregate so the
+   trace demonstrably round-trips. *)
+let with_trace path body =
+  match path with
+  | None -> body Trace.null
+  | Some path ->
+      Trace.with_jsonl_file path body;
+      let events = Trace.read_jsonl path in
+      Format.printf "trace: %d events written to %s@." (List.length events) path;
+      Format.printf "%a@." Trace.pp_aggregate (Trace.aggregate events)
+
 let verdict_string = function
   | Bab.Proved -> "verified"
   | Bab.Disproved _ -> "counterexample"
   | Bab.Exhausted -> "unknown (budget)"
 
-let setting_for spec budget_calls =
+let setting_for spec budget_calls strategy =
   let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
   match spec.Zoo.kind with
-  | Zoo.Acas -> Runner.acas_setting ~budget ()
-  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ()
+  | Zoo.Acas -> Runner.acas_setting ~budget ~strategy ()
+  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ~strategy ()
 
 let instances_for spec net count =
   match spec.Zoo.kind with
@@ -116,12 +148,10 @@ let zoo_cmd =
 
 let train_cmd =
   let run spec cache out =
-    let t0 = Unix.gettimeofday () in
-    let net = Zoo.load_or_train ?cache_dir:cache spec in
+    let net, seconds = Clock.timed (fun () -> Zoo.load_or_train ?cache_dir:cache spec) in
     Format.printf "%s: %d layers, %d neurons, %d relus; test accuracy %.3f (%.1fs)@."
       spec.Zoo.name (Network.num_layers net) (Network.num_neurons net) (Network.num_relus net)
-      (Zoo.accuracy spec net)
-      (Unix.gettimeofday () -. t0);
+      (Zoo.accuracy spec net) seconds;
     match out with
     | None -> ()
     | Some path ->
@@ -138,45 +168,53 @@ let train_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run spec cache count budget_calls =
+  let run spec cache count budget_calls strategy trace_out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls in
+    let setting = setting_for spec budget_calls strategy in
     let instances = instances_for spec net count in
-    Format.printf "verifying %d properties on %s@." (List.length instances) spec.Zoo.name;
+    Format.printf "verifying %d properties on %s (%s frontier)@." (List.length instances)
+      spec.Zoo.name
+      (Frontier.strategy_name strategy);
     let proved = ref 0 and disproved = ref 0 and unknown = ref 0 in
-    List.iter
-      (fun (inst : Workload.instance) ->
-        let t0 = Unix.gettimeofday () in
-        let run =
-          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net ~prop:inst.Workload.prop ()
-        in
-        (match run.Bab.verdict with
-        | Bab.Proved -> incr proved
-        | Bab.Disproved _ -> incr disproved
-        | Bab.Exhausted -> incr unknown);
-        Format.printf "%-28s %-18s calls=%4d tree=%4d %.2fs@." inst.Workload.prop.Ivan_spec.Prop.name
-          (verdict_string run.Bab.verdict) run.Bab.stats.Bab.analyzer_calls
-          run.Bab.stats.Bab.tree_size
-          (Unix.gettimeofday () -. t0))
-      instances;
+    with_trace trace_out (fun trace ->
+        List.iter
+          (fun (inst : Workload.instance) ->
+            let run, seconds =
+              Clock.timed (fun () ->
+                  Bab.verify ~analyzer:setting.Runner.analyzer
+                    ~heuristic:setting.Runner.heuristic ~strategy:setting.Runner.strategy ~trace
+                    ~budget:setting.Runner.budget ~net ~prop:inst.Workload.prop ())
+            in
+            (match run.Bab.verdict with
+            | Bab.Proved -> incr proved
+            | Bab.Disproved _ -> incr disproved
+            | Bab.Exhausted -> incr unknown);
+            Format.printf "%-28s %-18s calls=%4d tree=%4d %.2fs@."
+              inst.Workload.prop.Ivan_spec.Prop.name
+              (verdict_string run.Bab.verdict) run.Bab.stats.Bab.analyzer_calls
+              run.Bab.stats.Bab.tree_size seconds;
+            Format.printf "  %a@." Report.pp_engine_stats run.Bab.stats)
+          instances);
     Format.printf "summary: %d verified, %d counterexamples, %d unknown@." !proved !disproved
       !unknown
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify properties of a zoo model from scratch.")
-    Term.(const run $ model_arg $ cache_arg $ instances_arg 10 $ budget_arg)
+    Term.(
+      const run $ model_arg $ cache_arg $ instances_arg 10 $ budget_arg $ strategy_arg
+      $ trace_out_arg)
 
 (* ---------------- incremental ---------------- *)
 
 let incremental_cmd =
-  let run spec cache update count budget_calls alpha theta =
+  let run spec cache update count budget_calls alpha theta strategy =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls in
+    let setting = setting_for spec budget_calls strategy in
     let instances = instances_for spec net count in
-    Format.printf "incremental verification of %s under the %s update (%d instances)@."
-      spec.Zoo.name (update_name update) (List.length instances);
+    Format.printf "incremental verification of %s under the %s update (%d instances, %s frontier)@."
+      spec.Zoo.name (update_name update) (List.length instances)
+      (Frontier.strategy_name strategy);
     let comparisons =
       Runner.run_all setting ~net ~updated
         ~techniques:[ Ivan.Reuse; Ivan.Reorder; Ivan.Full ]
@@ -208,7 +246,7 @@ let incremental_cmd =
     (Cmd.info "incremental" ~doc:"Compare baseline vs. IVAN on a network update.")
     Term.(
       const run $ model_arg $ cache_arg $ update_arg $ instances_arg 10 $ budget_arg $ alpha_arg
-      $ theta_arg)
+      $ theta_arg $ strategy_arg)
 
 (* ---------------- prove / reverify: persistent proofs ---------------- *)
 
@@ -227,19 +265,17 @@ let nth_instance spec net index =
 let prove_cmd =
   let run spec cache index budget_calls out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls in
+    let setting = setting_for spec budget_calls Frontier.Fifo in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
-    let t0 = Unix.gettimeofday () in
-    let result =
-      Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-        ~budget:setting.Runner.budget ~net ~prop ()
+    let result, seconds =
+      Clock.timed (fun () ->
+          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+            ~budget:setting.Runner.budget ~net ~prop ())
     in
     Format.printf "%s: %s in %d analyzer calls (%.2fs), tree %d nodes@." prop.Ivan_spec.Prop.name
       (verdict_string result.Bab.verdict)
-      result.Bab.stats.Bab.analyzer_calls
-      (Unix.gettimeofday () -. t0)
-      result.Bab.stats.Bab.tree_size;
+      result.Bab.stats.Bab.analyzer_calls seconds result.Bab.stats.Bab.tree_size;
     Proof.to_file out (Proof.of_run ~prop result);
     Format.printf "proof written to %s@." out
   in
@@ -257,26 +293,24 @@ let reverify_cmd =
   let run spec cache update index budget_calls proof_path =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls in
+    let setting = setting_for spec budget_calls Frontier.Fifo in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
     let proof = Proof.of_file proof_path in
     if proof.Proof.property_name <> prop.Ivan_spec.Prop.name then
       Format.printf "warning: proof was recorded for %S, reverifying %S@."
         proof.Proof.property_name prop.Ivan_spec.Prop.name;
-    let t0 = Unix.gettimeofday () in
-    let result =
-      Ivan.verify_updated_with_tree ~analyzer:setting.Runner.analyzer
-        ~heuristic:setting.Runner.heuristic
-        ~config:{ Ivan.default_config with budget = setting.Runner.budget }
-        ~original_tree:proof.Proof.tree ~updated ~prop
+    let result, seconds =
+      Clock.timed (fun () ->
+          Ivan.verify_updated_with_tree ~analyzer:setting.Runner.analyzer
+            ~heuristic:setting.Runner.heuristic
+            ~config:{ Ivan.default_config with budget = setting.Runner.budget }
+            ~original_tree:proof.Proof.tree ~updated ~prop)
     in
     Format.printf "%s (%s): %s in %d analyzer calls (%.2fs; original proof took %d calls)@."
       prop.Ivan_spec.Prop.name (update_name update)
       (verdict_string result.Bab.verdict)
-      result.Bab.stats.Bab.analyzer_calls
-      (Unix.gettimeofday () -. t0)
-      proof.Proof.analyzer_calls
+      result.Bab.stats.Bab.analyzer_calls seconds proof.Proof.analyzer_calls
   in
   let proof_arg =
     Arg.(
@@ -335,7 +369,7 @@ let diff_cmd =
 (* ---------------- check: network file + VNN-LIB property ---------------- *)
 
 let check_cmd =
-  let run net_path prop_path budget_calls input_split =
+  let run net_path prop_path budget_calls input_split strategy trace_out =
     let net = Serialize.of_file net_path in
     let prop = Ivan_spec.Vnnlib.parse_file prop_path in
     let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 120.0 } in
@@ -343,18 +377,21 @@ let check_cmd =
       if input_split then (Ivan_analyzer.Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
       else (Ivan_analyzer.Analyzer.lp_triangle (), Ivan_bab.Heuristic.zono_coeff)
     in
-    let t0 = Unix.gettimeofday () in
-    let result = Bab.verify ~analyzer ~heuristic ~budget ~net ~prop () in
-    (match result.Bab.verdict with
-    | Bab.Proved -> Format.printf "holds@."
-    | Bab.Disproved x ->
-        Format.printf "violated@.counterexample:";
-        Array.iter (fun v -> Format.printf " %.17g" v) x;
-        Format.printf "@."
-    | Bab.Exhausted -> Format.printf "unknown@.");
-    Format.printf "(%d analyzer calls, %d splits, %.2fs)@." result.Bab.stats.Bab.analyzer_calls
-      result.Bab.stats.Bab.branchings
-      (Unix.gettimeofday () -. t0)
+    with_trace trace_out (fun trace ->
+        let result, seconds =
+          Clock.timed (fun () ->
+              Bab.verify ~analyzer ~heuristic ~strategy ~trace ~budget ~net ~prop ())
+        in
+        (match result.Bab.verdict with
+        | Bab.Proved -> Format.printf "holds@."
+        | Bab.Disproved x ->
+            Format.printf "violated@.counterexample:";
+            Array.iter (fun v -> Format.printf " %.17g" v) x;
+            Format.printf "@."
+        | Bab.Exhausted -> Format.printf "unknown@.");
+        Format.printf "(%d analyzer calls, %d splits, %.2fs)@."
+          result.Bab.stats.Bab.analyzer_calls result.Bab.stats.Bab.branchings seconds;
+        Format.printf "%a@." Report.pp_engine_stats result.Bab.stats)
   in
   let net_arg =
     Arg.(
@@ -371,7 +408,8 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
-    Term.(const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg)
+    Term.(const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg
+      $ trace_out_arg)
 
 (* ---------------- experiment ---------------- *)
 

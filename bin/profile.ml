@@ -23,12 +23,13 @@ let () =
   in
   let box = prop.Prop.input in
   let time name n f =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do
-      ignore (f ())
-    done;
-    Printf.printf "%-14s %7.2f ms/call\n%!" name
-      ((Unix.gettimeofday () -. t0) /. float_of_int n *. 1000.0)
+    let (), seconds =
+      Ivan_harness.Clock.timed (fun () ->
+          for _ = 1 to n do
+            ignore (f ())
+          done)
+    in
+    Printf.printf "%-14s %7.2f ms/call\n%!" name (seconds /. float_of_int n *. 1000.0)
   in
   time "deeppoly" 20 (fun () -> Deeppoly.analyze net ~box ~splits:Splits.empty);
   time "zonotope" 20 (fun () -> Zonotope.analyze net ~box ~splits:Splits.empty);

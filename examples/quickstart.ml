@@ -17,6 +17,8 @@ module Prop = Ivan_spec.Prop
 module Analyzer = Ivan_analyzer.Analyzer
 module Heuristic = Ivan_bab.Heuristic
 module Bab = Ivan_bab.Bab
+module Frontier = Ivan_bab.Frontier
+module Trace = Ivan_bab.Trace
 module Tree = Ivan_spectree.Tree
 module Ivan = Ivan_core.Ivan
 
@@ -59,12 +61,37 @@ let () =
   Format.printf "property: %a@." Prop.pp prop;
 
   (* Step 1: verify N from scratch with the LP analyzer and the
-     zonotope-coefficient branching heuristic. *)
+     zonotope-coefficient branching heuristic.  A ring-buffer trace sink
+     keeps the last engine events so we can show what the verifier did. *)
   let analyzer = Analyzer.lp_triangle () in
+  let ring = Trace.ring ~capacity:8 in
   let original =
-    Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~net:network ~prop ()
+    Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~trace:ring ~net:network ~prop ()
   in
   describe "original network" original;
+  Format.printf "engine stats: analyzer %.1f%% of %.4fs, frontier peak %d, max depth %d@."
+    (if original.Bab.stats.Bab.elapsed_seconds > 0.0 then
+       100.0 *. original.Bab.stats.Bab.analyzer_seconds
+       /. original.Bab.stats.Bab.elapsed_seconds
+     else 0.0)
+    original.Bab.stats.Bab.elapsed_seconds original.Bab.stats.Bab.max_frontier
+    original.Bab.stats.Bab.max_depth;
+  Format.printf "last engine events:@.";
+  List.iter
+    (fun e -> Format.printf "  %s@." (Trace.event_to_json e))
+    (Trace.ring_contents ring);
+
+  (* The frontier is pluggable: the same problem under each exploration
+     order.  All three prove the property; the traversal differs. *)
+  Format.printf "@.frontier strategies on the same problem:@.";
+  List.iter
+    (fun strategy ->
+      let run = Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~strategy ~net:network ~prop () in
+      Format.printf "  %-5s %d analyzer calls, frontier peak %d, max depth %d@."
+        (Frontier.strategy_name strategy)
+        run.Bab.stats.Bab.analyzer_calls run.Bab.stats.Bab.max_frontier
+        run.Bab.stats.Bab.max_depth)
+    Frontier.all_strategies;
 
   (* Step 2: update the network (int8 post-training quantization). *)
   let updated = Quant.network Quant.Int8 network in

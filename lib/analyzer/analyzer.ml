@@ -29,6 +29,17 @@ type t = {
 
 let vacuous = { status = Verified; lb = infinity; bounds = None; zono = None }
 
+let instrument ~on_run t =
+  {
+    t with
+    run =
+      (fun net ~prop ~box ~splits ->
+        let t0 = Unix.gettimeofday () in
+        let outcome = t.run net ~prop ~box ~splits in
+        on_run ~name:t.name ~elapsed:(Unix.gettimeofday () -. t0) ~outcome;
+        outcome);
+  }
+
 let check_concrete net ~prop x =
   Box.contains prop.Prop.input x && Prop.margin prop (Network.forward net x) < 0.0
 

@@ -40,6 +40,14 @@ type t = {
 (** [box] is the subproblem's input region (equal to [prop.input] under
     ReLU splitting; a sub-box under input splitting). *)
 
+val instrument :
+  on_run:(name:string -> elapsed:float -> outcome:outcome -> unit) -> t -> t
+(** [instrument ~on_run a] is [a] with every [run] timed: [on_run] fires
+    after each call with the analyzer's name, the wall-clock seconds the
+    call took, and its outcome.  The BaB engine uses this hook to
+    attribute time to the analyzer boundary; it composes (instrumenting
+    twice fires both hooks). *)
+
 val lp_triangle : ?deeppoly_shortcut:bool -> unit -> t
 (** The LP analyzer.  When [deeppoly_shortcut] is true (default), a
     subproblem already proved by the DeepPoly pass skips the LP solve;

@@ -1,76 +1,30 @@
 module Network = Ivan_nn.Network
 module Box = Ivan_spec.Box
 module Prop = Ivan_spec.Prop
-module Analyzer = Ivan_analyzer.Analyzer
-module Tree = Ivan_spectree.Tree
 
-type budget = { max_analyzer_calls : int; max_seconds : float }
+type budget = Engine.budget = { max_analyzer_calls : int; max_seconds : float }
 
-let default_budget = { max_analyzer_calls = 10_000; max_seconds = infinity }
+let default_budget = Engine.default_budget
 
-type stats = {
+type stats = Engine.stats = {
   analyzer_calls : int;
   branchings : int;
   tree_size : int;
   tree_leaves : int;
   elapsed_seconds : float;
+  analyzer_seconds : float;
+  max_frontier : int;
+  max_depth : int;
+  heuristic_failures : int;
 }
 
-type verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
+type verdict = Engine.verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
 
-type run = { verdict : verdict; tree : Tree.t; stats : stats }
+type run = Engine.run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
 
-let verify ~analyzer ~heuristic ?(budget = default_budget) ?initial_tree ~net ~prop () =
+let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?initial_tree ~net
+    ~prop () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Bab.verify: property dimension does not match the network";
-  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
-  let started = Unix.gettimeofday () in
-  let calls = ref 0 in
-  let branchings = ref 0 in
-  (* FIFO over active nodes: breadth-first, deterministic. *)
-  let active = Queue.create () in
-  List.iter (fun n -> Queue.add n active) (Tree.leaves tree);
-  let out_of_budget () =
-    !calls >= budget.max_analyzer_calls || Unix.gettimeofday () -. started > budget.max_seconds
-  in
-  let rec loop () =
-    if Queue.is_empty active then Proved
-    else if out_of_budget () then Exhausted
-    else begin
-      let node = Queue.pop active in
-      let box, splits = Tree.subproblem ~root_box:prop.Prop.input node in
-      incr calls;
-      let outcome = analyzer.Analyzer.run net ~prop ~box ~splits in
-      Tree.set_lb node outcome.Analyzer.lb;
-      match outcome.Analyzer.status with
-      | Analyzer.Verified -> loop ()
-      | Analyzer.Counterexample x -> Disproved x
-      | Analyzer.Unknown -> (
-          let ctx = { Heuristic.net; prop; box; splits; outcome } in
-          match Heuristic.best (heuristic.Heuristic.scores ctx) with
-          | None ->
-              (* No decision can refine this node further; the analyzer
-                 is exact here, so this only happens on numerical
-                 failure.  Surface it as budget exhaustion. *)
-              Exhausted
-          | Some d ->
-              let left, right = Tree.split tree node d in
-              incr branchings;
-              Queue.add left active;
-              Queue.add right active;
-              loop ())
-    end
-  in
-  let verdict = loop () in
-  {
-    verdict;
-    tree;
-    stats =
-      {
-        analyzer_calls = !calls;
-        branchings = !branchings;
-        tree_size = Tree.size tree;
-        tree_leaves = Tree.num_leaves tree;
-        elapsed_seconds = Unix.gettimeofday () -. started;
-      };
-  }
+  Engine.run
+    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?initial_tree ~net ~prop ())

@@ -1,13 +1,19 @@
 (** Branch-and-bound complete verification (Algorithms 1 and 3).
 
-    The verifier repeatedly bounds the subproblems of the active list
-    with an analyzer and branches the unsolved ones with a heuristic,
-    growing a specification tree that records the trace.  Starting from
-    a non-trivial initial tree gives the paper's incremental verifier
-    [V_Delta]: the active list is initialized with the leaves of the
-    supplied tree. *)
+    The verifier repeatedly bounds the subproblems of the frontier with
+    an analyzer and branches the unsolved ones with a heuristic, growing
+    a specification tree that records the trace.  Starting from a
+    non-trivial initial tree gives the paper's incremental verifier
+    [V_Delta]: the frontier is initialized with the leaves of the
+    supplied tree.
 
-type budget = {
+    [verify] is a thin wrapper over the explicit-state {!Engine}
+    ([Engine.create] + [Engine.run]); its types are the engine's, so
+    runs from either interface interoperate.  Under the default [Fifo]
+    strategy it reproduces the original breadth-first traversal
+    exactly. *)
+
+type budget = Engine.budget = {
   max_analyzer_calls : int;
   max_seconds : float;  (** wall-clock limit; [infinity] disables it *)
 }
@@ -15,31 +21,41 @@ type budget = {
 val default_budget : budget
 (** 10_000 analyzer calls, no time limit. *)
 
-type stats = {
+type stats = Engine.stats = {
   analyzer_calls : int;  (** bounding steps (the paper's Cost metric) *)
   branchings : int;  (** node branchings *)
   tree_size : int;  (** [|Nodes(T_f)|] *)
   tree_leaves : int;
   elapsed_seconds : float;
+  analyzer_seconds : float;  (** wall-clock spent inside analyzer calls *)
+  max_frontier : int;  (** largest frontier observed at a dequeue *)
+  max_depth : int;  (** deepest node dequeued *)
+  heuristic_failures : int;
+      (** unsolved nodes the heuristic could not branch (numerical
+          failure, reported distinctly from budget exhaustion) *)
 }
 
-type verdict =
+type verdict = Engine.verdict =
   | Proved
   | Disproved of Ivan_tensor.Vec.t  (** a concrete counterexample *)
   | Exhausted  (** budget ran out — the paper's "Unknown / timeout" *)
 
-type run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
+type run = Engine.run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
 
 val verify :
   analyzer:Ivan_analyzer.Analyzer.t ->
   heuristic:Heuristic.t ->
+  ?strategy:Frontier.strategy ->
+  ?trace:Trace.sink ->
   ?budget:budget ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   unit ->
   run
-(** [initial_tree] (default: a single root node) is copied, never
+(** [strategy] (default [Fifo]) selects the frontier exploration order;
+    [trace] (default {!Trace.null}) observes every engine step.
+    [initial_tree] (default: a single root node) is copied, never
     mutated: the returned tree extends the copy with the run's new
     splits and records the analyzer LB of every node it bounded.
     @raise Invalid_argument if the property's box dimension does not

@@ -1,0 +1,203 @@
+module Network = Ivan_nn.Network
+module Box = Ivan_spec.Box
+module Prop = Ivan_spec.Prop
+module Analyzer = Ivan_analyzer.Analyzer
+module Tree = Ivan_spectree.Tree
+
+type budget = { max_analyzer_calls : int; max_seconds : float }
+
+let default_budget = { max_analyzer_calls = 10_000; max_seconds = infinity }
+
+type stats = {
+  analyzer_calls : int;
+  branchings : int;
+  tree_size : int;
+  tree_leaves : int;
+  elapsed_seconds : float;
+  analyzer_seconds : float;
+  max_frontier : int;
+  max_depth : int;
+  heuristic_failures : int;
+}
+
+type verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
+
+type run = { verdict : verdict; tree : Tree.t; stats : stats }
+
+type t = {
+  analyzer : Analyzer.t;  (* instrumented: each call records into [last_call] *)
+  heuristic : Heuristic.t;
+  budget : budget;
+  check_time_every : int;
+  trace : Trace.sink;
+  net : Network.t;
+  prop : Prop.t;
+  tree : Tree.t;
+  frontier : Tree.node Frontier.t;
+  started : float;
+  last_call : float ref;
+  mutable steps : int;
+  mutable calls : int;
+  mutable branchings : int;
+  mutable analyzer_seconds : float;
+  mutable max_frontier : int;
+  mutable max_depth : int;
+  mutable heuristic_failures : int;
+  mutable finished : run option;
+}
+
+let verdict_label = function
+  | Proved -> "proved"
+  | Disproved _ -> "disproved"
+  | Exhausted -> "exhausted"
+
+let status_label = function
+  | Analyzer.Verified -> "verified"
+  | Analyzer.Counterexample _ -> "counterexample"
+  | Analyzer.Unknown -> "unknown"
+
+let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
+    ?(budget = default_budget) ?(check_time_every = 8) ?initial_tree ~net ~prop () =
+  if Box.dim prop.Prop.input <> Network.input_dim net then
+    invalid_arg "Engine.create: property dimension does not match the network";
+  if check_time_every <= 0 then invalid_arg "Engine.create: check_time_every must be positive";
+  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
+  let last_call = ref 0.0 in
+  let analyzer =
+    Analyzer.instrument ~on_run:(fun ~name:_ ~elapsed ~outcome:_ -> last_call := elapsed) analyzer
+  in
+  let frontier = Frontier.create strategy in
+  List.iter (fun n -> Frontier.push frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
+  {
+    analyzer;
+    heuristic;
+    budget;
+    check_time_every;
+    trace;
+    net;
+    prop;
+    tree;
+    frontier;
+    started = Unix.gettimeofday ();
+    last_call;
+    steps = 0;
+    calls = 0;
+    branchings = 0;
+    analyzer_seconds = 0.0;
+    max_frontier = 0;
+    max_depth = 0;
+    heuristic_failures = 0;
+    finished = None;
+  }
+
+let tree t = t.tree
+
+let calls t = t.calls
+
+let frontier_length t = Frontier.length t.frontier
+
+let finished t = t.finished
+
+let finish t verdict =
+  let elapsed = Unix.gettimeofday () -. t.started in
+  let run =
+    {
+      verdict;
+      tree = t.tree;
+      stats =
+        {
+          analyzer_calls = t.calls;
+          branchings = t.branchings;
+          tree_size = Tree.size t.tree;
+          tree_leaves = Tree.num_leaves t.tree;
+          elapsed_seconds = elapsed;
+          analyzer_seconds = t.analyzer_seconds;
+          max_frontier = t.max_frontier;
+          max_depth = t.max_depth;
+          heuristic_failures = t.heuristic_failures;
+        };
+    }
+  in
+  Trace.emit t.trace
+    (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
+  t.finished <- Some run;
+  run
+
+(* The wall-clock budget is checked centrally, once every
+   [check_time_every] steps (including step 0, so a zero budget fires
+   before any analyzer call), instead of reading the clock per node.
+   [>=] rather than [>]: a 0-second budget must exhaust even when the
+   clock has not advanced a full tick since [create]. *)
+let out_of_time t =
+  t.budget.max_seconds < infinity
+  && t.steps mod t.check_time_every = 0
+  && Unix.gettimeofday () -. t.started >= t.budget.max_seconds
+
+type status = Running | Finished of run
+
+let step t =
+  match t.finished with
+  | Some run -> Finished run
+  | None ->
+      if Frontier.is_empty t.frontier then Finished (finish t Proved)
+      else if t.calls >= t.budget.max_analyzer_calls || out_of_time t then
+        Finished (finish t Exhausted)
+      else begin
+        t.steps <- t.steps + 1;
+        let frontier_now = Frontier.length t.frontier in
+        t.max_frontier <- max t.max_frontier frontier_now;
+        let node = match Frontier.pop t.frontier with Some n -> n | None -> assert false in
+        let id = Tree.node_id node in
+        let depth = List.length (Tree.path_decisions node) in
+        t.max_depth <- max t.max_depth depth;
+        Trace.emit t.trace (Trace.Dequeued { node = id; depth; frontier = frontier_now });
+        let box, splits = Tree.subproblem ~root_box:t.prop.Prop.input node in
+        t.calls <- t.calls + 1;
+        let outcome = t.analyzer.Analyzer.run t.net ~prop:t.prop ~box ~splits in
+        t.analyzer_seconds <- t.analyzer_seconds +. !(t.last_call);
+        Trace.emit t.trace
+          (Trace.Analyzed
+             {
+               node = id;
+               status = status_label outcome.Analyzer.status;
+               lb = outcome.Analyzer.lb;
+               seconds = !(t.last_call);
+             });
+        Tree.set_lb node outcome.Analyzer.lb;
+        match outcome.Analyzer.status with
+        | Analyzer.Verified -> Running
+        | Analyzer.Counterexample x -> Finished (finish t (Disproved x))
+        | Analyzer.Unknown -> (
+            let ctx = { Heuristic.net = t.net; prop = t.prop; box; splits; outcome } in
+            match Heuristic.best (t.heuristic.Heuristic.scores ctx) with
+            | None ->
+                (* No decision can refine this node further; the
+                   analyzer is exact here, so this only happens on
+                   numerical failure.  Count and trace it distinctly,
+                   then stop — the budget was not the problem. *)
+                t.heuristic_failures <- t.heuristic_failures + 1;
+                Trace.emit t.trace (Trace.Stuck { node = id });
+                Finished (finish t Exhausted)
+            | Some d ->
+                let left, right = Tree.split t.tree node d in
+                t.branchings <- t.branchings + 1;
+                Trace.emit t.trace
+                  (Trace.Split
+                     {
+                       node = id;
+                       decision = d;
+                       left = Tree.node_id left;
+                       right = Tree.node_id right;
+                     });
+                (* Children inherit the parent's freshly computed bound
+                   as their best-first priority until analyzed. *)
+                Frontier.push t.frontier ~priority:outcome.Analyzer.lb left;
+                Frontier.push t.frontier ~priority:outcome.Analyzer.lb right;
+                Running)
+      end
+
+let run t =
+  let rec go () = match step t with Finished r -> r | Running -> go () in
+  go ()
+
+let cancel t = match t.finished with Some r -> r | None -> finish t Exhausted

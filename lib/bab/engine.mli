@@ -1,0 +1,94 @@
+(** The branch-and-bound verification engine (Algorithms 1 and 3) as an
+    explicit-state stepper.
+
+    {!create} builds the engine state — the specification tree, the
+    frontier of unbounded leaves, counters — and {!step} processes
+    exactly one frontier node: dequeue, bound with the analyzer, then
+    verify / report a counterexample / branch.  Callers can drive the
+    loop themselves (interleaving verification with other work,
+    checkpointing, or cancelling via {!cancel}); {!run} steps to
+    completion.  [Bab.verify] is a thin wrapper over [create] + [run]
+    and keeps the historical interface.
+
+    The node-selection order is a pluggable {!Frontier.strategy}; every
+    step can be observed through a {!Trace.sink}.  The wall-clock budget
+    is enforced centrally — one clock read every [check_time_every]
+    steps rather than per node. *)
+
+type budget = {
+  max_analyzer_calls : int;
+  max_seconds : float;  (** wall-clock limit; [infinity] disables it *)
+}
+
+val default_budget : budget
+(** 10_000 analyzer calls, no time limit. *)
+
+type stats = {
+  analyzer_calls : int;  (** bounding steps (the paper's Cost metric) *)
+  branchings : int;  (** node branchings *)
+  tree_size : int;  (** [|Nodes(T_f)|] *)
+  tree_leaves : int;
+  elapsed_seconds : float;
+  analyzer_seconds : float;
+      (** wall-clock spent inside analyzer calls, via the
+          {!Ivan_analyzer.Analyzer.instrument} hook *)
+  max_frontier : int;  (** largest frontier observed at a dequeue *)
+  max_depth : int;  (** deepest node dequeued *)
+  heuristic_failures : int;
+      (** unsolved nodes the heuristic could not branch (numerical
+          failure, reported distinctly from budget exhaustion) *)
+}
+
+type verdict =
+  | Proved
+  | Disproved of Ivan_tensor.Vec.t  (** a concrete counterexample *)
+  | Exhausted  (** budget ran out — the paper's "Unknown / timeout" *)
+
+type run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
+
+type t
+(** Mutable engine state. *)
+
+val create :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Heuristic.t ->
+  ?strategy:Frontier.strategy ->
+  ?trace:Trace.sink ->
+  ?budget:budget ->
+  ?check_time_every:int ->
+  ?initial_tree:Ivan_spectree.Tree.t ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  unit ->
+  t
+(** [strategy] defaults to [Fifo] (the exact breadth-first order of the
+    original implementation); [trace] to {!Trace.null};
+    [check_time_every] (default 8) is how many steps separate wall-clock
+    budget checks — the check always fires on the first step, so a zero
+    time budget exhausts before any analyzer call.  [initial_tree]
+    (default: a single root node) is copied, never mutated.
+    @raise Invalid_argument if the property's box dimension does not
+    match the network input, or if [check_time_every <= 0]. *)
+
+type status = Running | Finished of run
+
+val step : t -> status
+(** Process one frontier node.  Idempotent after completion: keeps
+    returning the same [Finished] run. *)
+
+val run : t -> run
+(** Step until finished. *)
+
+val cancel : t -> run
+(** Finish immediately: emits the terminal trace event and returns an
+    [Exhausted] run over the tree built so far (or the already-finished
+    run).  Subsequent {!step} calls return it unchanged. *)
+
+val tree : t -> Ivan_spectree.Tree.t
+(** Live view of the specification tree being grown. *)
+
+val calls : t -> int
+
+val frontier_length : t -> int
+
+val finished : t -> run option

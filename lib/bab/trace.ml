@@ -1,0 +1,256 @@
+(* Structured event stream of a verification run. *)
+
+module Decision = Ivan_spectree.Decision
+
+type event =
+  | Dequeued of { node : int; depth : int; frontier : int }
+  | Analyzed of { node : int; status : string; lb : float; seconds : float }
+  | Split of { node : int; decision : Decision.t; left : int; right : int }
+  | Pruned of { node : int }
+  | Stuck of { node : int }
+  | Verdict of { verdict : string; calls : int; seconds : float }
+
+(* ---------------- sinks ---------------- *)
+
+type ring = { capacity : int; items : event Queue.t }
+
+type sink =
+  | Null
+  | Ring of ring
+  | Channel of out_channel
+  | Hook of (event -> unit)
+  | Tee of sink * sink
+
+let null = Null
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
+  Ring { capacity; items = Queue.create () }
+
+let ring_contents = function
+  | Ring r -> List.of_seq (Queue.to_seq r.items)
+  | Null | Channel _ | Hook _ | Tee _ -> []
+
+let channel oc = Channel oc
+
+let hook f = Hook f
+
+let tee a b = Tee (a, b)
+
+(* ---------------- JSONL serialization ---------------- *)
+
+(* Floats print with enough digits to round-trip binary64 exactly; the
+   three non-finite values, which JSON cannot represent as numbers, are
+   encoded as strings the parser recognizes. *)
+let float_token v =
+  if Float.is_nan v then "\"nan\""
+  else if v = infinity then "\"inf\""
+  else if v = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let float_of_token = function
+  | "nan" -> nan
+  | "inf" -> infinity
+  | "-inf" -> neg_infinity
+  | s -> float_of_string s
+
+let event_to_json = function
+  | Dequeued { node; depth; frontier } ->
+      Printf.sprintf {|{"ev":"dequeued","node":%d,"depth":%d,"frontier":%d}|} node depth frontier
+  | Analyzed { node; status; lb; seconds } ->
+      Printf.sprintf {|{"ev":"analyzed","node":%d,"status":%S,"lb":%s,"seconds":%s}|} node status
+        (float_token lb) (float_token seconds)
+  | Split { node; decision; left; right } ->
+      Printf.sprintf {|{"ev":"split","node":%d,"decision":%S,"left":%d,"right":%d}|} node
+        (Decision.to_string decision) left right
+  | Pruned { node } -> Printf.sprintf {|{"ev":"pruned","node":%d}|} node
+  | Stuck { node } -> Printf.sprintf {|{"ev":"stuck","node":%d}|} node
+  | Verdict { verdict; calls; seconds } ->
+      Printf.sprintf {|{"ev":"verdict","verdict":%S,"calls":%d,"seconds":%s}|} verdict calls
+        (float_token seconds)
+
+(* Minimal parser for the flat one-line objects emitted above: string
+   keys mapping to either quoted strings or bare number tokens. *)
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Trace.event_of_json: %s in %S" msg line) in
+  let skip_ws () = while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done in
+  let expect c =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> c then fail (Printf.sprintf "expected %c" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      if !pos >= n then fail "unterminated string";
+      (match line.[!pos] with
+      | '"' -> closed := true
+      | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape";
+          incr pos;
+          Buffer.add_char buf
+            (match line.[!pos] with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | c -> c)
+      | c -> Buffer.add_char buf c);
+      incr pos
+    done;
+    Buffer.contents buf
+  in
+  let parse_bare () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && (match line.[!pos] with ',' | '}' | ' ' -> false | _ -> true) do
+      incr pos
+    done;
+    if !pos = start then fail "empty value";
+    String.sub line start (!pos - start)
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < n && line.[!pos] = '}' then incr pos
+  else begin
+    let continue = ref true in
+    while !continue do
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let value =
+        if !pos < n && line.[!pos] = '"' then `Str (parse_string ()) else `Bare (parse_bare ())
+      in
+      fields := (key, value) :: !fields;
+      skip_ws ();
+      if !pos < n && line.[!pos] = ',' then incr pos
+      else begin
+        expect '}';
+        continue := false
+      end
+    done
+  end;
+  List.rev !fields
+
+let event_of_json line =
+  let fields = parse_flat line in
+  let fail key = failwith (Printf.sprintf "Trace.event_of_json: missing field %S in %S" key line) in
+  let str key =
+    match List.assoc_opt key fields with Some (`Str s) -> s | Some (`Bare s) -> s | None -> fail key
+  in
+  let int key = int_of_string (str key) in
+  let float key =
+    match List.assoc_opt key fields with
+    | Some (`Str s) -> float_of_token s
+    | Some (`Bare s) -> float_of_string s
+    | None -> fail key
+  in
+  match str "ev" with
+  | "dequeued" -> Dequeued { node = int "node"; depth = int "depth"; frontier = int "frontier" }
+  | "analyzed" ->
+      Analyzed { node = int "node"; status = str "status"; lb = float "lb"; seconds = float "seconds" }
+  | "split" ->
+      Split
+        {
+          node = int "node";
+          decision = Decision.of_string (str "decision");
+          left = int "left";
+          right = int "right";
+        }
+  | "pruned" -> Pruned { node = int "node" }
+  | "stuck" -> Stuck { node = int "node" }
+  | "verdict" -> Verdict { verdict = str "verdict"; calls = int "calls"; seconds = float "seconds" }
+  | ev -> failwith (Printf.sprintf "Trace.event_of_json: unknown event %S" ev)
+
+let rec emit sink ev =
+  match sink with
+  | Null -> ()
+  | Ring r ->
+      Queue.add ev r.items;
+      if Queue.length r.items > r.capacity then ignore (Queue.pop r.items)
+  | Channel oc ->
+      output_string oc (event_to_json ev);
+      output_char oc '\n'
+  | Hook f -> f ev
+  | Tee (a, b) ->
+      emit a ev;
+      emit b ev
+
+let with_jsonl_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Channel oc))
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then events := event_of_json line :: !events
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+(* ---------------- aggregation ---------------- *)
+
+type aggregate = {
+  events : int;
+  analyzer_calls : int;
+  analyzer_seconds : float;
+  branchings : int;
+  pruned : int;
+  stuck : int;
+  max_frontier : int;
+  max_depth : int;
+  verdict : string option;
+}
+
+let empty_aggregate =
+  {
+    events = 0;
+    analyzer_calls = 0;
+    analyzer_seconds = 0.0;
+    branchings = 0;
+    pruned = 0;
+    stuck = 0;
+    max_frontier = 0;
+    max_depth = 0;
+    verdict = None;
+  }
+
+let aggregate events =
+  List.fold_left
+    (fun acc ev ->
+      let acc = { acc with events = acc.events + 1 } in
+      match ev with
+      | Dequeued { depth; frontier; _ } ->
+          {
+            acc with
+            max_frontier = max acc.max_frontier frontier;
+            max_depth = max acc.max_depth depth;
+          }
+      | Analyzed { seconds; _ } ->
+          {
+            acc with
+            analyzer_calls = acc.analyzer_calls + 1;
+            analyzer_seconds = acc.analyzer_seconds +. seconds;
+          }
+      | Split _ -> { acc with branchings = acc.branchings + 1 }
+      | Pruned _ -> { acc with pruned = acc.pruned + 1 }
+      | Stuck _ -> { acc with stuck = acc.stuck + 1 }
+      | Verdict { verdict; _ } -> { acc with verdict = Some verdict })
+    empty_aggregate events
+
+let pp_aggregate fmt a =
+  Format.fprintf fmt "%d calls (%.3fs in analyzer), %d splits, frontier peak %d, depth %d"
+    a.analyzer_calls a.analyzer_seconds a.branchings a.max_frontier a.max_depth;
+  if a.pruned > 0 then Format.fprintf fmt ", %d pruned" a.pruned;
+  if a.stuck > 0 then Format.fprintf fmt ", %d heuristic failures" a.stuck;
+  match a.verdict with None -> () | Some v -> Format.fprintf fmt ", verdict %s" v

@@ -1,0 +1,82 @@
+(** Structured event stream of a verification run.
+
+    The {!Engine} (and the tree pruner) emit one {!event} per observable
+    step of branch and bound; a {!sink} decides where events go — thrown
+    away ([null]), kept in a bounded in-memory buffer ([ring]), written
+    as JSON Lines ([channel] / {!with_jsonl_file}), or handed to a
+    callback ([hook]).  A recorded JSONL trace {!read_jsonl}s back into
+    the same events, and {!aggregate} replays any event list into the
+    run's summary statistics — so a trace file is a complete,
+    machine-readable account of where the verifier spent its effort. *)
+
+type event =
+  | Dequeued of { node : int; depth : int; frontier : int }
+      (** a node left the frontier; [frontier] is the frontier length
+          including this node, [depth] its tree depth *)
+  | Analyzed of { node : int; status : string; lb : float; seconds : float }
+      (** an analyzer call bounded the node's subproblem ([status] is
+          [verified], [counterexample] or [unknown]) *)
+  | Split of { node : int; decision : Ivan_spectree.Decision.t; left : int; right : int }
+      (** the node branched into children [left]/[right] *)
+  | Pruned of { node : int }  (** reuse-prune: an ineffective split was skipped *)
+  | Stuck of { node : int }
+      (** the heuristic produced no decision on an unsolved node — a
+          numerical failure, not budget exhaustion *)
+  | Verdict of { verdict : string; calls : int; seconds : float }
+      (** terminal event: [proved], [disproved] or [exhausted] *)
+
+type sink
+
+val null : sink
+(** Discards everything (the default; tracing costs nothing). *)
+
+val ring : capacity:int -> sink
+(** Keeps the most recent [capacity] events in memory.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val ring_contents : sink -> event list
+(** Buffered events, oldest first; [[]] for non-ring sinks. *)
+
+val channel : out_channel -> sink
+(** Writes each event as one JSON line.  The caller owns the channel. *)
+
+val hook : (event -> unit) -> sink
+
+val tee : sink -> sink -> sink
+(** Duplicates every event to both sinks. *)
+
+val emit : sink -> event -> unit
+
+val with_jsonl_file : string -> (sink -> 'a) -> 'a
+(** [with_jsonl_file path f] opens [path], runs [f] with a JSONL sink
+    writing to it, and closes the file (also on exceptions). *)
+
+val event_to_json : event -> string
+(** One-line JSON object; floats round-trip exactly (non-finite values
+    are encoded as the strings ["nan"], ["inf"], ["-inf"]). *)
+
+val event_of_json : string -> event
+(** Inverse of {!event_to_json}.  @raise Failure on malformed input. *)
+
+val read_jsonl : string -> event list
+(** Parse a file of {!event_to_json} lines (blank lines are skipped). *)
+
+type aggregate = {
+  events : int;
+  analyzer_calls : int;  (** [Analyzed] events *)
+  analyzer_seconds : float;  (** summed analyzer time *)
+  branchings : int;  (** [Split] events *)
+  pruned : int;
+  stuck : int;
+  max_frontier : int;  (** largest frontier observed at a dequeue *)
+  max_depth : int;  (** deepest node dequeued *)
+  verdict : string option;  (** from the terminal [Verdict] event *)
+}
+
+val aggregate : event list -> aggregate
+(** Replay an event list into summary statistics.  On a full engine
+    trace this reproduces the run's {!Engine.stats} counters
+    (analyzer calls, branchings, analyzer seconds, frontier peak,
+    max depth) exactly. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

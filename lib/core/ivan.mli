@@ -20,16 +20,21 @@ type config = {
   alpha : float;  (** Equation 7 mixing weight *)
   theta : float;  (** pruning / deprioritization threshold *)
   budget : Ivan_bab.Bab.budget;
+  strategy : Ivan_bab.Frontier.strategy;
+      (** frontier exploration order of every BaB run this config
+          drives; [Fifo] reproduces the paper's breadth-first order *)
 }
 
 val default_config : config
 (** [Full] with [alpha = 0.25], [theta = 0.01] (the best cell of the
-    paper's Figure 8 sweep) and the default BaB budget. *)
+    paper's Figure 8 sweep), the default BaB budget and the [Fifo]
+    frontier. *)
 
 val verify_original :
   analyzer:Ivan_analyzer.Analyzer.t ->
   heuristic:Ivan_bab.Heuristic.t ->
   ?budget:Ivan_bab.Bab.budget ->
+  ?strategy:Ivan_bab.Frontier.strategy ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   unit ->

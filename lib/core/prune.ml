@@ -1,6 +1,6 @@
 module Tree = Ivan_spectree.Tree
 
-let prune ~theta tree =
+let prune ?(trace = Ivan_bab.Trace.null) ~theta tree =
   (* Normalize improvements by the tree's largest magnitude so theta is
      scale-free. *)
   let max_imp = ref 0.0 in
@@ -29,6 +29,7 @@ let prune ~theta tree =
           Queue.add (r, hr) q
         end
         else begin
+          Ivan_bab.Trace.emit trace (Ivan_bab.Trace.Pruned { node = Tree.node_id n });
           (* Equation 8: continue from the child whose LB is closest to
              the parent's (smaller increase); drop the other subtree. *)
           let delta_l = Tree.lb l -. Tree.lb n and delta_r = Tree.lb r -. Tree.lb n in

@@ -11,7 +11,9 @@
     the [theta] comparison, so the same [theta] grid is meaningful
     across instances (and matches the [H_Delta] normalization). *)
 
-val prune : theta:float -> Ivan_spectree.Tree.t -> Ivan_spectree.Tree.t
+val prune :
+  ?trace:Ivan_bab.Trace.sink -> theta:float -> Ivan_spectree.Tree.t -> Ivan_spectree.Tree.t
 (** Returns a fresh tree; the input is not modified.  Nodes without LB
     annotations are kept as-is (their improvement is unknown, so their
-    splits are never judged bad). *)
+    splits are never judged bad).  [trace] (default null) receives one
+    [Pruned] event per skipped split. *)

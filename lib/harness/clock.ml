@@ -1,0 +1,6 @@
+let now = Unix.gettimeofday
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

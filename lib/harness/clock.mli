@@ -1,0 +1,12 @@
+(** Wall-clock helpers shared by the harness, CLI and profiler.
+
+    One home for the [Unix.gettimeofday]-based timing previously
+    duplicated across the runner, the experiment campaigns and the
+    profiler. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)

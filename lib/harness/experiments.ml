@@ -57,12 +57,20 @@ type context = {
   scale : scale;
   cache_dir : string option;
   domains : int;
+  strategy : Ivan_bab.Frontier.strategy;
   nets : (string, Network.t) Hashtbl.t;
   campaigns : (string, Runner.comparison list) Hashtbl.t;
 }
 
-let create ?cache_dir ?(domains = 1) scale =
-  { scale; cache_dir; domains; nets = Hashtbl.create 8; campaigns = Hashtbl.create 16 }
+let create ?cache_dir ?(domains = 1) ?(strategy = Ivan_bab.Frontier.Fifo) scale =
+  {
+    scale;
+    cache_dir;
+    domains;
+    strategy;
+    nets = Hashtbl.create 8;
+    campaigns = Hashtbl.create 16;
+  }
 
 let net_of ctx spec =
   match Hashtbl.find_opt ctx.nets spec.Zoo.name with
@@ -84,10 +92,11 @@ let campaign ctx spec scheme =
       let setting, instances =
         match spec.Zoo.kind with
         | Zoo.Acas ->
-            ( Runner.acas_setting ~budget:ctx.scale.acas_budget (),
+            ( Runner.acas_setting ~budget:ctx.scale.acas_budget ~strategy:ctx.strategy (),
               Workload.acas_instances ~net ~margins:ctx.scale.acas_margins ~seed:333 )
         | Zoo.Image_classifier ->
-            ( Runner.classifier_setting ~budget:ctx.scale.classifier_budget (),
+            ( Runner.classifier_setting ~budget:ctx.scale.classifier_budget
+                ~strategy:ctx.strategy (),
               Workload.robustness_instances ~spec ~net ~count:ctx.scale.classifier_instances )
       in
       let result =
@@ -217,7 +226,9 @@ let fig8 ctx fmt =
   let spec = Zoo.fcn_mnist in
   let net = net_of ctx spec in
   let updated = Quant.network Quant.Int16 net in
-  let setting = Runner.classifier_setting ~budget:ctx.scale.classifier_budget () in
+  let setting =
+    Runner.classifier_setting ~budget:ctx.scale.classifier_budget ~strategy:ctx.strategy ()
+  in
   let instances =
     Workload.robustness_instances ~spec ~net ~count:ctx.scale.sweep_instances
   in
@@ -228,14 +239,14 @@ let fig8 ctx fmt =
         let prop = inst.Workload.prop in
         let original =
           Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net ~prop ()
+            ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net ~prop ()
         in
-        let t0 = Unix.gettimeofday () in
-        let baseline =
-          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net:updated ~prop ()
+        let baseline, baseline_time =
+          Clock.timed (fun () ->
+              Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+                ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net:updated
+                ~prop ())
         in
-        let baseline_time = Unix.gettimeofday () -. t0 in
         (inst, original, baseline, baseline_time))
       instances
   in
@@ -244,15 +255,23 @@ let fig8 ctx fmt =
     List.iter
       (fun ((inst : Workload.instance), original, baseline, baseline_time) ->
         if baseline.Bab.verdict <> Bab.Exhausted then begin
-          let config = { Ivan.technique; alpha; theta; budget = setting.Runner.budget } in
-          let t0 = Unix.gettimeofday () in
-          let _run =
-            Ivan.verify_updated ~analyzer:setting.Runner.analyzer
-              ~heuristic:setting.Runner.heuristic ~config ~original_run:original ~updated
-              ~prop:inst.Workload.prop
+          let config =
+            {
+              Ivan.technique;
+              alpha;
+              theta;
+              budget = setting.Runner.budget;
+              strategy = setting.Runner.strategy;
+            }
+          in
+          let _run, tech_time =
+            Clock.timed (fun () ->
+                Ivan.verify_updated ~analyzer:setting.Runner.analyzer
+                  ~heuristic:setting.Runner.heuristic ~config ~original_run:original ~updated
+                  ~prop:inst.Workload.prop)
           in
           base_total := !base_total +. baseline_time;
-          tech_total := !tech_total +. (Unix.gettimeofday () -. t0)
+          tech_total := !tech_total +. tech_time
         end)
       prepared;
     if !tech_total > 0.0 then !base_total /. !tech_total else 1.0
@@ -293,7 +312,9 @@ let table3 ctx fmt =
   List.iter
     (fun spec ->
       let net = net_of ctx spec in
-      let setting = Runner.classifier_setting ~budget:ctx.scale.classifier_budget () in
+      let setting =
+        Runner.classifier_setting ~budget:ctx.scale.classifier_budget ~strategy:ctx.strategy ()
+      in
       let instances =
         Workload.robustness_instances ~spec ~net ~count:ctx.scale.perturb_instances
       in
@@ -359,7 +380,9 @@ let theorem4 ctx fmt =
   section fmt "Theorem 4: last-layer perturbation bound (empirical check)";
   let spec = Zoo.fcn_mnist in
   let net = net_of ctx spec in
-  let setting = Runner.classifier_setting ~budget:ctx.scale.classifier_budget () in
+  let setting =
+    Runner.classifier_setting ~budget:ctx.scale.classifier_budget ~strategy:ctx.strategy ()
+  in
   let instances =
     Workload.robustness_instances ~spec ~net ~count:ctx.scale.sweep_instances
   in
@@ -370,7 +393,7 @@ let theorem4 ctx fmt =
       let prop = inst.Workload.prop in
       let run =
         Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-          ~budget:setting.Runner.budget ~net ~prop ()
+          ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net ~prop ()
       in
       if run.Bab.verdict = Bab.Proved then begin
         let tree = run.Bab.tree in
@@ -405,7 +428,9 @@ let milp_warmstart ctx fmt =
   let spec = Zoo.fcn_mnist in
   let net = net_of ctx spec in
   let updated = Quant.network Quant.Int16 net in
-  let setting = Runner.classifier_setting ~budget:ctx.scale.classifier_budget () in
+  let setting =
+    Runner.classifier_setting ~budget:ctx.scale.classifier_budget ~strategy:ctx.strategy ()
+  in
   let instances = Workload.robustness_instances ~spec ~net ~count:ctx.scale.sweep_instances in
   Format.fprintf fmt "%-22s %10s %10s %10s %12s@." "property" "cold-nodes" "warm-nodes"
     "warm-gain" "ivan-calls";
@@ -437,12 +462,17 @@ let milp_warmstart ctx fmt =
           (* IVAN's incremental BaB on the same instance. *)
           let bab_original =
             Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-              ~budget:setting.Runner.budget ~net ~prop ()
+              ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net ~prop ()
           in
           let ivan_run =
             Ivan.verify_updated ~analyzer:setting.Runner.analyzer
               ~heuristic:setting.Runner.heuristic
-              ~config:{ Ivan.default_config with budget = setting.Runner.budget }
+              ~config:
+                {
+                  Ivan.default_config with
+                  budget = setting.Runner.budget;
+                  strategy = setting.Runner.strategy;
+                }
               ~original_run:bab_original ~updated ~prop
           in
           cold_total := !cold_total + cold.Ivan_analyzer.Analyzer.nodes;
@@ -475,7 +505,9 @@ let ablation_heuristics ctx fmt =
   List.iter
     (fun heuristic ->
       let setting =
-        { (Runner.classifier_setting ~budget:ctx.scale.classifier_budget ()) with
+        { (Runner.classifier_setting ~budget:ctx.scale.classifier_budget
+             ~strategy:ctx.strategy ())
+          with
           Runner.heuristic
         }
       in

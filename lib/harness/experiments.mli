@@ -27,10 +27,12 @@ val full : scale
 
 type context
 
-val create : ?cache_dir:string -> ?domains:int -> scale -> context
+val create :
+  ?cache_dir:string -> ?domains:int -> ?strategy:Ivan_bab.Frontier.strategy -> scale -> context
 (** [cache_dir] is the zoo weight cache (see {!Ivan_data.Zoo});
     [domains] (default 1) parallelizes instance runs across OCaml 5
-    domains. *)
+    domains; [strategy] (default [Fifo]) is the frontier exploration
+    order of every BaB run the experiments drive. *)
 
 val alpha_default : float
 (** 0.25 — the best Figure-8 cell, used by every non-sweep experiment. *)

@@ -76,6 +76,20 @@ let verdict_name (m : Runner.measurement) =
   | Bab.Disproved _ -> "counterexample"
   | Bab.Exhausted -> "unknown"
 
+let pp_engine_stats fmt (s : Bab.stats) =
+  let share =
+    if s.Bab.elapsed_seconds > 0.0 then
+      100.0 *. s.Bab.analyzer_seconds /. s.Bab.elapsed_seconds
+    else 0.0
+  in
+  Format.fprintf fmt
+    "analyzer calls %d (%.3fs, %.0f%% of %.3fs)  branchings %d  tree %d/%d  frontier peak %d  \
+     max depth %d"
+    s.Bab.analyzer_calls s.Bab.analyzer_seconds share s.Bab.elapsed_seconds s.Bab.branchings
+    s.Bab.tree_size s.Bab.tree_leaves s.Bab.max_frontier s.Bab.max_depth;
+  if s.Bab.heuristic_failures > 0 then
+    Format.fprintf fmt "  heuristic failures %d" s.Bab.heuristic_failures
+
 let to_csv comparisons =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "instance,property,run,verdict,calls,seconds,tree_size,tree_leaves\n";

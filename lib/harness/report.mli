@@ -29,6 +29,11 @@ val split_hard : Runner.comparison list -> Runner.comparison list * Runner.compa
 (** Partition into easy ([|T_f^N| <= 5]) and hard instances by the
     original proof-tree size, as in the paper's Table 4. *)
 
+val pp_engine_stats : Format.formatter -> Ivan_bab.Bab.stats -> unit
+(** One-line rendering of the extended per-run engine statistics:
+    analyzer calls and time share, branchings, tree size, frontier peak,
+    max dequeued depth, and (when non-zero) heuristic failures. *)
+
 val to_csv : Runner.comparison list -> string
 (** Machine-readable per-instance results: one row per (instance,
     technique) pair plus the baseline, with verdicts, analyzer calls,

@@ -3,13 +3,20 @@ module Heuristic = Ivan_bab.Heuristic
 module Bab = Ivan_bab.Bab
 module Ivan = Ivan_core.Ivan
 
-type setting = { analyzer : Analyzer.t; heuristic : Heuristic.t; budget : Bab.budget }
+type setting = {
+  analyzer : Analyzer.t;
+  heuristic : Heuristic.t;
+  budget : Bab.budget;
+  strategy : Ivan_bab.Frontier.strategy;
+}
 
-let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 }) () =
-  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget }
+let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 })
+    ?(strategy = Ivan_bab.Frontier.Fifo) () =
+  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget; strategy }
 
-let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 }) () =
-  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget }
+let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 })
+    ?(strategy = Ivan_bab.Frontier.Fifo) () =
+  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget; strategy }
 
 type measurement = {
   verdict : Bab.verdict;
@@ -37,29 +44,26 @@ let measure_of_run (run : Bab.run) seconds =
     tree_leaves = run.Bab.stats.Bab.tree_leaves;
   }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Workload.instance) =
   let prop = instance.Workload.prop in
   let original_run, original_time =
-    timed (fun () ->
-        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~budget:setting.budget
-          ~net ~prop ())
+    Clock.timed (fun () ->
+        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
+          ~strategy:setting.strategy ~budget:setting.budget ~net ~prop ())
   in
   let baseline_run, baseline_time =
-    timed (fun () ->
-        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~budget:setting.budget
-          ~net:updated ~prop ())
+    Clock.timed (fun () ->
+        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
+          ~strategy:setting.strategy ~budget:setting.budget ~net:updated ~prop ())
   in
   let technique_runs =
     List.map
       (fun technique ->
-        let config = { Ivan.technique; alpha; theta; budget = setting.budget } in
+        let config =
+          { Ivan.technique; alpha; theta; budget = setting.budget; strategy = setting.strategy }
+        in
         let run, seconds =
-          timed (fun () ->
+          Clock.timed (fun () ->
               Ivan.verify_updated ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~config
                 ~original_run ~updated ~prop)
         in

@@ -11,15 +11,21 @@ type setting = {
   analyzer : Ivan_analyzer.Analyzer.t;
   heuristic : Ivan_bab.Heuristic.t;
   budget : Ivan_bab.Bab.budget;
+  strategy : Ivan_bab.Frontier.strategy;
+      (** frontier exploration order used by every BaB run of the
+          setting (original, baseline and incremental alike) *)
 }
 
-val classifier_setting : ?budget:Ivan_bab.Bab.budget -> unit -> setting
+val classifier_setting :
+  ?budget:Ivan_bab.Bab.budget -> ?strategy:Ivan_bab.Frontier.strategy -> unit -> setting
 (** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
-    paper's §6.1 baseline stack).  Default budget: 400 calls, 30 s. *)
+    paper's §6.1 baseline stack).  Default budget: 400 calls, 30 s;
+    default strategy: [Fifo]. *)
 
-val acas_setting : ?budget:Ivan_bab.Bab.budget -> unit -> setting
+val acas_setting :
+  ?budget:Ivan_bab.Bab.budget -> ?strategy:Ivan_bab.Frontier.strategy -> unit -> setting
 (** Zonotope analyzer + smear input splitting (§6.4 stack).  Default
-    budget: 3000 calls, 60 s. *)
+    budget: 3000 calls, 60 s; default strategy: [Fifo]. *)
 
 type measurement = {
   verdict : Ivan_bab.Bab.verdict;

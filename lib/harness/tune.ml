@@ -16,14 +16,15 @@ let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated i
         let prop = inst.Workload.prop in
         let original =
           Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net ~prop ()
+            ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net ~prop ()
         in
-        let t0 = Unix.gettimeofday () in
-        let baseline =
-          Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net:updated ~prop ()
+        let baseline, baseline_time =
+          Clock.timed (fun () ->
+              Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
+                ~strategy:setting.Runner.strategy ~budget:setting.Runner.budget ~net:updated
+                ~prop ())
         in
-        (inst, original, baseline.Bab.verdict <> Bab.Exhausted, Unix.gettimeofday () -. t0))
+        (inst, original, baseline.Bab.verdict <> Bab.Exhausted, baseline_time))
       instances
   in
   let evaluate alpha theta =
@@ -31,15 +32,23 @@ let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated i
     List.iter
       (fun ((inst : Workload.instance), original, baseline_solved, baseline_time) ->
         if baseline_solved then begin
-          let config = { Ivan.technique; alpha; theta; budget = setting.Runner.budget } in
-          let t0 = Unix.gettimeofday () in
-          let _run =
-            Ivan.verify_updated ~analyzer:setting.Runner.analyzer
-              ~heuristic:setting.Runner.heuristic ~config ~original_run:original ~updated
-              ~prop:inst.Workload.prop
+          let config =
+            {
+              Ivan.technique;
+              alpha;
+              theta;
+              budget = setting.Runner.budget;
+              strategy = setting.Runner.strategy;
+            }
+          in
+          let _run, tech_time =
+            Clock.timed (fun () ->
+                Ivan.verify_updated ~analyzer:setting.Runner.analyzer
+                  ~heuristic:setting.Runner.heuristic ~config ~original_run:original ~updated
+                  ~prop:inst.Workload.prop)
           in
           base_total := !base_total +. baseline_time;
-          tech_total := !tech_total +. (Unix.gettimeofday () -. t0)
+          tech_total := !tech_total +. tech_time
         end)
       prepared;
     { alpha; theta; speedup = (if !tech_total > 0.0 then !base_total /. !tech_total else 1.0) }

@@ -92,7 +92,7 @@ let test_reuse_bound_on_trained_model () =
           Ivan.verify_updated ~analyzer:setting.Runner.analyzer
             ~heuristic:setting.Runner.heuristic
             ~config:
-              { Ivan.technique = Ivan.Reuse; alpha = 0.25; theta = 0.01; budget = setting.Runner.budget }
+              { Ivan.default_config with technique = Ivan.Reuse; budget = setting.Runner.budget }
             ~original_run:original ~updated:net ~prop
         in
         Alcotest.(check int) "calls = leaves" original.Bab.stats.Bab.tree_leaves

@@ -11,6 +11,7 @@ let () =
       ("analyzer", Test_analyzer.suite);
       ("spectree", Test_spectree.suite);
       ("bab", Test_bab.suite);
+      ("engine", Test_engine.suite);
       ("core", Test_core.suite);
       ("harness", Test_harness.suite);
       ("leaky", Test_leaky.suite);
