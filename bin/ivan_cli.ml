@@ -18,8 +18,10 @@ module Quant = Ivan_nn.Quant
 module Perturb = Ivan_nn.Perturb
 module Serialize = Ivan_nn.Serialize
 module Bab = Ivan_bab.Bab
+module Engine = Ivan_bab.Engine
 module Frontier = Ivan_bab.Frontier
 module Trace = Ivan_bab.Trace
+module Analyzer = Ivan_analyzer.Analyzer
 module Ivan = Ivan_core.Ivan
 module Zoo = Ivan_data.Zoo
 module Runner = Ivan_harness.Runner
@@ -95,6 +97,35 @@ let trace_out_arg =
   let doc = "Write a JSONL engine trace (one event per line) to FILE." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+(* Resilience policy: how analyzer failures are retried and degraded
+   (Analyzer.with_fallback).  Shared by every verifying subcommand. *)
+let policy_term =
+  let max_retries_arg =
+    let doc = "Re-attempts per analyzer per node before degrading to the next analyzer in the \
+               fallback chain." in
+    Arg.(value & opt int Analyzer.default_policy.Analyzer.max_retries
+         & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let node_timeout_arg =
+    let doc = "Cooperative per-node analyzer time budget in seconds; once exceeded the node \
+               degrades to unknown instead of retrying (default: none)." in
+    Arg.(value & opt (some float) None & info [ "node-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let fallback_arg =
+    let doc = "Degrade through cheaper analyzers (DeepPoly, then intervals) when the primary \
+               keeps failing, instead of giving the node up immediately." in
+    Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+         & info [ "fallback" ] ~docv:"on|off" ~doc)
+  in
+  let make max_retries node_timeout fallback =
+    {
+      Analyzer.max_retries;
+      node_timeout = Option.value node_timeout ~default:infinity;
+      fallback;
+    }
+  in
+  Term.(const make $ max_retries_arg $ node_timeout_arg $ fallback_arg)
+
 (* Runs the body with a trace sink for [path] (null when absent); after
    the body returns, reads the file back and prints the aggregate so the
    trace demonstrably round-trips. *)
@@ -112,11 +143,11 @@ let verdict_string = function
   | Bab.Disproved _ -> "counterexample"
   | Bab.Exhausted -> "unknown (budget)"
 
-let setting_for spec budget_calls strategy =
+let setting_for spec budget_calls strategy policy =
   let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
   match spec.Zoo.kind with
-  | Zoo.Acas -> Runner.acas_setting ~budget ~strategy ()
-  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ~strategy ()
+  | Zoo.Acas -> Runner.acas_setting ~budget ~strategy ~policy ()
+  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ~strategy ~policy ()
 
 let instances_for spec net count =
   match spec.Zoo.kind with
@@ -168,9 +199,9 @@ let train_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run spec cache count budget_calls strategy trace_out =
+  let run spec cache count budget_calls strategy policy trace_out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls strategy in
+    let setting = setting_for spec budget_calls strategy policy in
     let instances = instances_for spec net count in
     Format.printf "verifying %d properties on %s (%s frontier)@." (List.length instances)
       spec.Zoo.name
@@ -183,7 +214,8 @@ let verify_cmd =
               Clock.timed (fun () ->
                   Bab.verify ~analyzer:setting.Runner.analyzer
                     ~heuristic:setting.Runner.heuristic ~strategy:setting.Runner.strategy ~trace
-                    ~budget:setting.Runner.budget ~net ~prop:inst.Workload.prop ())
+                    ~budget:setting.Runner.budget ~policy:setting.Runner.policy ~net
+                    ~prop:inst.Workload.prop ())
             in
             (match run.Bab.verdict with
             | Bab.Proved -> incr proved
@@ -202,15 +234,15 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify properties of a zoo model from scratch.")
     Term.(
       const run $ model_arg $ cache_arg $ instances_arg 10 $ budget_arg $ strategy_arg
-      $ trace_out_arg)
+      $ policy_term $ trace_out_arg)
 
 (* ---------------- incremental ---------------- *)
 
 let incremental_cmd =
-  let run spec cache update count budget_calls alpha theta strategy =
+  let run spec cache update count budget_calls alpha theta strategy policy =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls strategy in
+    let setting = setting_for spec budget_calls strategy policy in
     let instances = instances_for spec net count in
     Format.printf "incremental verification of %s under the %s update (%d instances, %s frontier)@."
       spec.Zoo.name (update_name update) (List.length instances)
@@ -246,7 +278,7 @@ let incremental_cmd =
     (Cmd.info "incremental" ~doc:"Compare baseline vs. IVAN on a network update.")
     Term.(
       const run $ model_arg $ cache_arg $ update_arg $ instances_arg 10 $ budget_arg $ alpha_arg
-      $ theta_arg $ strategy_arg)
+      $ theta_arg $ strategy_arg $ policy_term)
 
 (* ---------------- prove / reverify: persistent proofs ---------------- *)
 
@@ -263,15 +295,15 @@ let nth_instance spec net index =
   | None -> failwith (Printf.sprintf "no instance with index %d" index)
 
 let prove_cmd =
-  let run spec cache index budget_calls out =
+  let run spec cache index budget_calls policy out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls Frontier.Fifo in
+    let setting = setting_for spec budget_calls Frontier.Fifo policy in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
     let result, seconds =
       Clock.timed (fun () ->
           Bab.verify ~analyzer:setting.Runner.analyzer ~heuristic:setting.Runner.heuristic
-            ~budget:setting.Runner.budget ~net ~prop ())
+            ~budget:setting.Runner.budget ~policy:setting.Runner.policy ~net ~prop ())
     in
     Format.printf "%s: %s in %d analyzer calls (%.2fs), tree %d nodes@." prop.Ivan_spec.Prop.name
       (verdict_string result.Bab.verdict)
@@ -287,13 +319,13 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Verify one property and persist its proof tree.")
-    Term.(const run $ model_arg $ cache_arg $ index_arg $ budget_arg $ out_arg)
+    Term.(const run $ model_arg $ cache_arg $ index_arg $ budget_arg $ policy_term $ out_arg)
 
 let reverify_cmd =
-  let run spec cache update index budget_calls proof_path =
+  let run spec cache update index budget_calls policy proof_path =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls Frontier.Fifo in
+    let setting = setting_for spec budget_calls Frontier.Fifo policy in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
     let proof = Proof.of_file proof_path in
@@ -304,7 +336,8 @@ let reverify_cmd =
       Clock.timed (fun () ->
           Ivan.verify_updated_with_tree ~analyzer:setting.Runner.analyzer
             ~heuristic:setting.Runner.heuristic
-            ~config:{ Ivan.default_config with budget = setting.Runner.budget }
+            ~config:
+              { Ivan.default_config with budget = setting.Runner.budget; policy = setting.Runner.policy }
             ~original_tree:proof.Proof.tree ~updated ~prop)
     in
     Format.printf "%s (%s): %s in %d analyzer calls (%.2fs; original proof took %d calls)@."
@@ -321,7 +354,9 @@ let reverify_cmd =
   Cmd.v
     (Cmd.info "reverify"
        ~doc:"Incrementally re-verify a property on an updated network from a stored proof.")
-    Term.(const run $ model_arg $ cache_arg $ update_arg $ index_arg $ budget_arg $ proof_arg)
+    Term.(
+      const run $ model_arg $ cache_arg $ update_arg $ index_arg $ budget_arg $ policy_term
+      $ proof_arg)
 
 (* ---------------- diff: differential verification ---------------- *)
 
@@ -369,29 +404,58 @@ let diff_cmd =
 (* ---------------- check: network file + VNN-LIB property ---------------- *)
 
 let check_cmd =
-  let run net_path prop_path budget_calls input_split strategy trace_out =
+  let run net_path prop_path budget_calls input_split strategy policy trace_out checkpoint_out
+      checkpoint_every resume =
+    if checkpoint_every <= 0 then failwith "--checkpoint-every must be positive";
     let net = Serialize.of_file net_path in
     let prop = Ivan_spec.Vnnlib.parse_file prop_path in
     let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 120.0 } in
     let analyzer, heuristic =
-      if input_split then (Ivan_analyzer.Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
-      else (Ivan_analyzer.Analyzer.lp_triangle (), Ivan_bab.Heuristic.zono_coeff)
+      if input_split then (Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
+      else (Analyzer.lp_triangle (), Ivan_bab.Heuristic.zono_coeff)
     in
     with_trace trace_out (fun trace ->
+        (* The engine is driven step by step so a checkpoint can be taken
+           every [checkpoint_every] nodes; an interrupted run restarts
+           from its last checkpoint with --resume.  The CLI budget (and
+           on resume, also the strategy recorded in the checkpoint)
+           governs the continued run. *)
+        let engine =
+          match resume with
+          | Some path ->
+              Format.printf "resuming from checkpoint %s@." path;
+              Engine.restore_from_file ~analyzer ~heuristic ~trace ~policy ~budget ~net ~prop path
+          | None ->
+              Engine.create ~analyzer ~heuristic ~strategy ~trace ~budget ~policy ~net ~prop ()
+        in
+        let save () =
+          match checkpoint_out with
+          | None -> ()
+          | Some path -> Engine.checkpoint_to_file engine path
+        in
         let result, seconds =
           Clock.timed (fun () ->
-              Bab.verify ~analyzer ~heuristic ~strategy ~trace ~budget ~net ~prop ())
+              let rec loop steps =
+                match Engine.step engine with
+                | Engine.Finished run -> run
+                | Engine.Running ->
+                    if steps mod checkpoint_every = 0 then save ();
+                    loop (steps + 1)
+              in
+              loop 1)
         in
-        (match result.Bab.verdict with
-        | Bab.Proved -> Format.printf "holds@."
-        | Bab.Disproved x ->
+        save ();
+        Option.iter (Format.printf "checkpoint written to %s@.") checkpoint_out;
+        (match result.Engine.verdict with
+        | Engine.Proved -> Format.printf "holds@."
+        | Engine.Disproved x ->
             Format.printf "violated@.counterexample:";
             Array.iter (fun v -> Format.printf " %.17g" v) x;
             Format.printf "@."
-        | Bab.Exhausted -> Format.printf "unknown@.");
+        | Engine.Exhausted -> Format.printf "unknown@.");
         Format.printf "(%d analyzer calls, %d splits, %.2fs)@."
-          result.Bab.stats.Bab.analyzer_calls result.Bab.stats.Bab.branchings seconds;
-        Format.printf "%a@." Report.pp_engine_stats result.Bab.stats)
+          result.Engine.stats.Bab.analyzer_calls result.Engine.stats.Bab.branchings seconds;
+        Format.printf "%a@." Report.pp_engine_stats result.Engine.stats)
   in
   let net_arg =
     Arg.(
@@ -406,10 +470,32 @@ let check_cmd =
   let input_split_arg =
     Arg.(value & flag & info [ "input-split" ] ~doc:"Branch on input dimensions instead of ReLUs.")
   in
+  let checkpoint_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-out" ] ~docv:"FILE"
+          ~doc:"Periodically (and on completion) write a resumable engine checkpoint to FILE.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"STEPS"
+          ~doc:"Engine steps between checkpoint writes (with --checkpoint-out).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume from a checkpoint instead of starting fresh; the checkpoint's tree, \
+                frontier, counters and strategy are restored, the command line's budget applies.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
-    Term.(const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg
-      $ trace_out_arg)
+    Term.(
+      const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg $ policy_term
+      $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ---------------- experiment ---------------- *)
 

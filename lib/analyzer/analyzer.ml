@@ -81,6 +81,25 @@ let zonotope_run net ~prop ~box ~splits =
 let zonotope () = { name = "zonotope"; run = zonotope_run }
 
 (* ------------------------------------------------------------------ *)
+(* DeepPoly-only analyzer: back-substituted bounds without the LP pass.
+   Middle rung of the degradation ladder — cheaper and numerically far
+   simpler than {!lp_triangle}, tighter than {!interval}. *)
+
+let deeppoly_run net ~prop ~box ~splits =
+  match Deeppoly.analyze net ~box ~splits with
+  | Deeppoly.Infeasible -> vacuous
+  | Deeppoly.Feasible dp ->
+      let bounds = Deeppoly.bounds dp in
+      let itv = Deeppoly.objective_itv dp ~c:prop.Prop.c ~offset:prop.Prop.offset in
+      if itv.Itv.lo >= 0.0 then
+        { status = Verified; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+      else
+        let status = concrete_status net ~prop (Box.center box) in
+        { status; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+
+let deeppoly () = { name = "deeppoly"; run = deeppoly_run }
+
+(* ------------------------------------------------------------------ *)
 (* LP analyzer with triangle relaxation *)
 
 (* Linear expressions over the LP variables: dense coefficient array
@@ -284,7 +303,7 @@ let lp_triangle_run ~deeppoly_shortcut net ~prop ~box ~splits =
       else
         let lp, const = build_lp net ~prop ~box ~splits ~bounds in
         match Lp.solve lp with
-        | exception Lp.Iteration_limit ->
+        | exception (Lp.Iteration_limit | Lp.Numerical_failure _) ->
             (* Numerical failure: fall back on the sound cheap bound. *)
             if cheap_lb >= 0.0 then { status = Verified; lb = cheap_lb; bounds = Some bounds; zono }
             else { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
@@ -417,7 +436,9 @@ let milp_verify ?(max_nodes = 100_000) ?incumbent net ~prop ~box ~splits =
             lp_solves = stats.Ivan_lp.Milp.lp_solves;
             witness = None;
           }
-      | Ivan_lp.Milp.Node_limit stats ->
+      | Ivan_lp.Milp.Node_limit stats | Ivan_lp.Milp.Solver_failure stats ->
+          (* Capped or numerically failed search: inconclusive either
+             way, never a fabricated answer. *)
           {
             milp_status = Unknown;
             milp_lb = neg_infinity;
@@ -449,3 +470,88 @@ let milp_exact ?(max_nodes = 100_000) () =
     { status = o.milp_status; lb = o.milp_lb; bounds = None; zono = None }
   in
   { name = "milp-exact"; run }
+
+(* ------------------------------------------------------------------ *)
+(* Resilience: retry-then-degrade fallback chains *)
+
+type policy = { max_retries : int; node_timeout : float; fallback : bool }
+
+let default_policy = { max_retries = 1; node_timeout = infinity; fallback = true }
+
+type fallback_event =
+  | Retried of { analyzer : string; attempt : int; reason : string }
+  | Fell_back of { analyzer : string; reason : string }
+  | Absorbed of { analyzer : string; reason : string }
+
+(* Conditions the resilience layer must never swallow: they signal the
+   process itself is in trouble, not one analyzer call. *)
+let fatal_exn = function Out_of_memory | Stack_overflow | Sys.Break -> true | _ -> false
+
+let degraded_outcome = { status = Unknown; lb = neg_infinity; bounds = None; zono = None }
+
+(* An outcome produced under possible faults is only trusted when it
+   cannot violate soundness: no NaN bound, [Verified] only with a
+   non-negative bound, and counterexamples re-checked concretely (one
+   forward pass — cheap next to any analysis). *)
+let trustworthy net ~prop o =
+  (not (Float.is_nan o.lb))
+  &&
+  match o.status with
+  | Verified -> o.lb >= 0.0
+  | Counterexample x -> check_concrete net ~prop x
+  | Unknown -> true
+
+let with_fallback ?chain ?(notify = fun (_ : fallback_event) -> ()) ~policy primary =
+  if policy.max_retries < 0 then invalid_arg "Analyzer.with_fallback: negative max_retries";
+  if policy.node_timeout <= 0.0 then invalid_arg "Analyzer.with_fallback: non-positive node_timeout";
+  let chain =
+    match chain with
+    | Some c -> c
+    | None ->
+        if policy.fallback then
+          List.filter (fun a -> a.name <> primary.name) [ deeppoly (); interval () ]
+        else []
+  in
+  let run net ~prop ~box ~splits =
+    let deadline =
+      if policy.node_timeout < infinity then Unix.gettimeofday () +. policy.node_timeout
+      else infinity
+    in
+    let timed_out () = deadline < infinity && Unix.gettimeofday () >= deadline in
+    (* Try one analyzer with up to [max_retries] re-attempts.  The
+       timeout is cooperative: analyzers are not preempted mid-call, but
+       no further attempt starts past the deadline. *)
+    let rec attempt a k =
+      let result =
+        try `Outcome (a.run net ~prop ~box ~splits)
+        with e -> if fatal_exn e then raise e else `Raised (Printexc.to_string e)
+      in
+      let failure =
+        match result with
+        | `Outcome o when trustworthy net ~prop o -> None
+        | `Outcome _ -> Some "untrustworthy outcome (NaN or unsound bound)"
+        | `Raised msg -> Some msg
+      in
+      match failure with
+      | None -> ( match result with `Outcome o -> `Ok o | `Raised _ -> assert false)
+      | Some reason ->
+          notify (Absorbed { analyzer = a.name; reason });
+          if k < policy.max_retries && not (timed_out ()) then begin
+            notify (Retried { analyzer = a.name; attempt = k + 1; reason });
+            attempt a (k + 1)
+          end
+          else `Failed reason
+    in
+    let rec try_chain = function
+      | [] -> degraded_outcome
+      | a :: rest -> (
+          match attempt a 0 with
+          | `Ok o ->
+              if a.name <> primary.name then
+                notify (Fell_back { analyzer = a.name; reason = "degraded from " ^ primary.name });
+              o
+          | `Failed _ -> if timed_out () then degraded_outcome else try_chain rest)
+    in
+    try_chain (primary :: chain)
+  in
+  { name = primary.name; run }

@@ -56,6 +56,11 @@ val lp_triangle : ?deeppoly_shortcut:bool -> unit -> t
 
 val zonotope : unit -> t
 
+val deeppoly : unit -> t
+(** DeepPoly back-substituted bounds without the LP pass — the middle
+    rung of the degradation ladder used by {!with_fallback}: cheaper and
+    numerically simpler than {!lp_triangle}, tighter than {!interval}. *)
+
 val interval : unit -> t
 
 val check_concrete :
@@ -101,3 +106,49 @@ val milp_verify :
 
 val milp_exact : ?max_nodes:int -> unit -> t
 (** {!milp_verify} wrapped as an analyzer: complete in one call. *)
+
+(** {2 Resilience}
+
+    Retry-then-degrade combinator.  A wrapped analyzer never lets a
+    non-fatal exception escape and never returns an outcome that could
+    violate soundness: results are sanity-checked (no NaN bound, no
+    [Verified] with a negative bound, counterexamples re-checked
+    concretely), failing analyzers are retried a bounded number of
+    times, and persistent failures fall through a chain of progressively
+    cheaper analyzers before finally degrading to [Unknown]. *)
+
+type policy = {
+  max_retries : int;  (** re-attempts per analyzer before falling back *)
+  node_timeout : float;
+      (** cooperative wall-clock cap in seconds per node: no new attempt
+          starts past the deadline (a running call is not preempted) *)
+  fallback : bool;  (** when false the default chain is empty *)
+}
+
+val default_policy : policy
+(** [{ max_retries = 1; node_timeout = infinity; fallback = true }] *)
+
+type fallback_event =
+  | Retried of { analyzer : string; attempt : int; reason : string }
+      (** an analyzer failed and is being re-attempted *)
+  | Fell_back of { analyzer : string; reason : string }
+      (** a non-primary analyzer's outcome was accepted (once per node) *)
+  | Absorbed of { analyzer : string; reason : string }
+      (** a failure (exception or untrustworthy outcome) was swallowed *)
+
+val fatal_exn : exn -> bool
+(** True for conditions the resilience layer must re-raise rather than
+    absorb: [Out_of_memory], [Stack_overflow], [Sys.Break]. *)
+
+val with_fallback :
+  ?chain:t list -> ?notify:(fallback_event -> unit) -> policy:policy -> t -> t
+(** [with_fallback ~policy primary] is [primary] hardened per the policy.
+    [chain] overrides the degradation ladder (default: {!deeppoly} then
+    {!interval}, minus any analyzer sharing the primary's name; empty
+    when [policy.fallback] is false).  [notify] observes resilience
+    events — the BaB engine uses it to count retries, fallback bounds
+    and absorbed faults.  When the chain is exhausted or the node
+    deadline passes, the result is a degraded [Unknown] outcome with
+    [lb = neg_infinity].
+    @raise Invalid_argument on a negative [max_retries] or non-positive
+    [node_timeout]. *)

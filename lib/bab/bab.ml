@@ -16,15 +16,19 @@ type stats = Engine.stats = {
   max_frontier : int;
   max_depth : int;
   heuristic_failures : int;
+  retries : int;
+  fallback_bounds : int;
+  faults_absorbed : int;
 }
 
 type verdict = Engine.verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
 
 type run = Engine.run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
 
-let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?initial_tree ~net
-    ~prop () =
+let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?policy ?initial_tree
+    ~net ~prop () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Bab.verify: property dimension does not match the network";
   Engine.run
-    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?initial_tree ~net ~prop ())
+    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?policy ?initial_tree ~net ~prop
+       ())

@@ -33,6 +33,11 @@ type stats = Engine.stats = {
   heuristic_failures : int;
       (** unsolved nodes the heuristic could not branch (numerical
           failure, reported distinctly from budget exhaustion) *)
+  retries : int;  (** analyzer re-attempts made by the resilience layer *)
+  fallback_bounds : int;
+      (** nodes whose accepted bound came from a degraded analyzer *)
+  faults_absorbed : int;
+      (** analyzer failures swallowed instead of crashing the run *)
 }
 
 type verdict = Engine.verdict =
@@ -48,6 +53,7 @@ val verify :
   ?strategy:Frontier.strategy ->
   ?trace:Trace.sink ->
   ?budget:budget ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -55,6 +61,8 @@ val verify :
   run
 (** [strategy] (default [Fifo]) selects the frontier exploration order;
     [trace] (default {!Trace.null}) observes every engine step.
+    [policy], when supplied, hardens the analyzer with
+    {!Ivan_analyzer.Analyzer.with_fallback} (see {!Engine.create}).
     [initial_tree] (default: a single root node) is copied, never
     mutated: the returned tree extends the copy with the run's new
     splits and records the analyzer LB of every node it bounded.

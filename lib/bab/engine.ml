@@ -18,12 +18,18 @@ type stats = {
   max_frontier : int;
   max_depth : int;
   heuristic_failures : int;
+  retries : int;
+  fallback_bounds : int;
+  faults_absorbed : int;
 }
 
 type verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
 
 type run = { verdict : verdict; tree : Tree.t; stats : stats }
 
+(* The resilience counters are refs rather than mutable fields: the
+   fallback [notify] closure is built before the record exists (the
+   wrapped analyzer is a [create]-time input of the record). *)
 type t = {
   analyzer : Analyzer.t;  (* instrumented: each call records into [last_call] *)
   heuristic : Heuristic.t;
@@ -36,6 +42,10 @@ type t = {
   frontier : Tree.node Frontier.t;
   started : float;
   last_call : float ref;
+  current_node : int ref;  (* node id under analysis, for resilience events *)
+  retries : int ref;
+  fallback_bounds : int ref;
+  faults_absorbed : int ref;
   mutable steps : int;
   mutable calls : int;
   mutable branchings : int;
@@ -56,18 +66,44 @@ let status_label = function
   | Analyzer.Counterexample _ -> "counterexample"
   | Analyzer.Unknown -> "unknown"
 
-let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
-    ?(budget = default_budget) ?(check_time_every = 8) ?initial_tree ~net ~prop () =
+(* Shared constructor behind [create] and [restore]: wires the
+   resilience wrapper and instrumentation around the analyzer and seeds
+   the counters; the frontier starts empty and is filled by the
+   caller. *)
+let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
+    ~started ~steps ~calls ~branchings ~analyzer_seconds ~max_frontier ~max_depth
+    ~heuristic_failures ~retries:retries0 ~fallback_bounds:fallback_bounds0
+    ~faults_absorbed:faults_absorbed0 () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Engine.create: property dimension does not match the network";
   if check_time_every <= 0 then invalid_arg "Engine.create: check_time_every must be positive";
-  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
   let last_call = ref 0.0 in
+  let current_node = ref (-1) in
+  let retries = ref retries0 in
+  let fallback_bounds = ref fallback_bounds0 in
+  let faults_absorbed = ref faults_absorbed0 in
   let analyzer =
+    match policy with
+    | None -> analyzer
+    | Some policy ->
+        let notify = function
+          | Analyzer.Retried { analyzer; attempt; reason } ->
+              incr retries;
+              Trace.emit trace (Trace.Retried { node = !current_node; analyzer; attempt; reason })
+          | Analyzer.Fell_back { analyzer; reason } ->
+              incr fallback_bounds;
+              Trace.emit trace (Trace.Fallback { node = !current_node; analyzer; reason })
+          | Analyzer.Absorbed { analyzer; reason } ->
+              incr faults_absorbed;
+              Trace.emit trace (Trace.Absorbed { node = !current_node; analyzer; reason })
+        in
+        Analyzer.with_fallback ~notify ~policy analyzer
+  in
+  let analyzer =
+    (* Instrument outside the fallback wrapper so [analyzer_seconds]
+       includes time burnt in retries and degraded attempts. *)
     Analyzer.instrument ~on_run:(fun ~name:_ ~elapsed ~outcome:_ -> last_call := elapsed) analyzer
   in
-  let frontier = Frontier.create strategy in
-  List.iter (fun n -> Frontier.push frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
   {
     analyzer;
     heuristic;
@@ -77,18 +113,34 @@ let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null
     net;
     prop;
     tree;
-    frontier;
-    started = Unix.gettimeofday ();
+    frontier = Frontier.create strategy;
+    started;
     last_call;
-    steps = 0;
-    calls = 0;
-    branchings = 0;
-    analyzer_seconds = 0.0;
-    max_frontier = 0;
-    max_depth = 0;
-    heuristic_failures = 0;
+    current_node;
+    retries;
+    fallback_bounds;
+    faults_absorbed;
+    steps;
+    calls;
+    branchings;
+    analyzer_seconds;
+    max_frontier;
+    max_depth;
+    heuristic_failures;
     finished = None;
   }
+
+let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
+    ?(budget = default_budget) ?(check_time_every = 8) ?policy ?initial_tree ~net ~prop () =
+  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
+  let t =
+    make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
+      ~started:(Unix.gettimeofday ()) ~steps:0 ~calls:0 ~branchings:0 ~analyzer_seconds:0.0
+      ~max_frontier:0 ~max_depth:0 ~heuristic_failures:0 ~retries:0 ~fallback_bounds:0
+      ~faults_absorbed:0 ()
+  in
+  List.iter (fun n -> Frontier.push t.frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
+  t
 
 let tree t = t.tree
 
@@ -98,26 +150,25 @@ let frontier_length t = Frontier.length t.frontier
 
 let finished t = t.finished
 
+let stats_of t ~elapsed =
+  {
+    analyzer_calls = t.calls;
+    branchings = t.branchings;
+    tree_size = Tree.size t.tree;
+    tree_leaves = Tree.num_leaves t.tree;
+    elapsed_seconds = elapsed;
+    analyzer_seconds = t.analyzer_seconds;
+    max_frontier = t.max_frontier;
+    max_depth = t.max_depth;
+    heuristic_failures = t.heuristic_failures;
+    retries = !(t.retries);
+    fallback_bounds = !(t.fallback_bounds);
+    faults_absorbed = !(t.faults_absorbed);
+  }
+
 let finish t verdict =
   let elapsed = Unix.gettimeofday () -. t.started in
-  let run =
-    {
-      verdict;
-      tree = t.tree;
-      stats =
-        {
-          analyzer_calls = t.calls;
-          branchings = t.branchings;
-          tree_size = Tree.size t.tree;
-          tree_leaves = Tree.num_leaves t.tree;
-          elapsed_seconds = elapsed;
-          analyzer_seconds = t.analyzer_seconds;
-          max_frontier = t.max_frontier;
-          max_depth = t.max_depth;
-          heuristic_failures = t.heuristic_failures;
-        };
-    }
-  in
+  let run = { verdict; tree = t.tree; stats = stats_of t ~elapsed } in
   Trace.emit t.trace
     (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
   t.finished <- Some run;
@@ -153,7 +204,19 @@ let step t =
         Trace.emit t.trace (Trace.Dequeued { node = id; depth; frontier = frontier_now });
         let box, splits = Tree.subproblem ~root_box:t.prop.Prop.input node in
         t.calls <- t.calls + 1;
-        let outcome = t.analyzer.Analyzer.run t.net ~prop:t.prop ~box ~splits in
+        t.current_node := id;
+        let outcome =
+          (* Last line of defense: even without a resilience policy, a
+             non-fatal analyzer exception degrades this node to Unknown
+             instead of crashing a run holding a reusable tree. *)
+          try t.analyzer.Analyzer.run t.net ~prop:t.prop ~box ~splits
+          with e when not (Analyzer.fatal_exn e) ->
+            incr t.faults_absorbed;
+            Trace.emit t.trace
+              (Trace.Absorbed
+                 { node = id; analyzer = t.analyzer.Analyzer.name; reason = Printexc.to_string e });
+            { Analyzer.status = Analyzer.Unknown; lb = neg_infinity; bounds = None; zono = None }
+        in
         t.analyzer_seconds <- t.analyzer_seconds +. !(t.last_call);
         Trace.emit t.trace
           (Trace.Analyzed
@@ -201,3 +264,192 @@ let run t =
   go ()
 
 let cancel t = match t.finished with Some r -> r | None -> finish t Exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore.
+
+   A checkpoint is a self-delimiting text document: a fixed-order header
+   of counters, the terminal state, the frontier as (node id, priority)
+   pairs in re-push order, and the specification tree in its
+   {!Tree.to_string} format (which preserves node ids, so the frontier
+   references survive the round trip).  The analyzer, heuristic and
+   network are code, not state — [restore] takes them as arguments. *)
+
+let float_token v = Printf.sprintf "%.17g" v
+
+(* [float_of_string] accepts the "inf"/"-inf"/"nan" spellings %.17g
+   produces for non-finite values, so no special casing is needed. *)
+let float_of_token = float_of_string
+
+let verdict_to_tokens = function
+  | Proved -> "proved"
+  | Exhausted -> "exhausted"
+  | Disproved x ->
+      "disproved"
+      ^ String.concat "" (List.map (fun v -> " " ^ float_token v) (Array.to_list x))
+
+let checkpoint t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let elapsed =
+    match t.finished with
+    | Some r -> r.stats.elapsed_seconds
+    | None -> Unix.gettimeofday () -. t.started
+  in
+  add "ivan-checkpoint 1";
+  add "strategy: %s" (Frontier.strategy_name (Frontier.strategy t.frontier));
+  add "max_calls: %d" t.budget.max_analyzer_calls;
+  add "max_seconds: %s" (float_token t.budget.max_seconds);
+  add "check_time_every: %d" t.check_time_every;
+  add "steps: %d" t.steps;
+  add "calls: %d" t.calls;
+  add "branchings: %d" t.branchings;
+  add "analyzer_seconds: %s" (float_token t.analyzer_seconds);
+  add "max_frontier: %d" t.max_frontier;
+  add "max_depth: %d" t.max_depth;
+  add "heuristic_failures: %d" t.heuristic_failures;
+  add "retries: %d" !(t.retries);
+  add "fallback_bounds: %d" !(t.fallback_bounds);
+  add "faults_absorbed: %d" !(t.faults_absorbed);
+  add "elapsed: %s" (float_token elapsed);
+  add "finished: %s"
+    (match t.finished with None -> "running" | Some r -> verdict_to_tokens r.verdict);
+  add "frontier:%s"
+    (String.concat ""
+       (List.map
+          (fun (p, n) -> Printf.sprintf " %d %s" (Tree.node_id n) (float_token p))
+          (Frontier.elements t.frontier)));
+  add "tree:";
+  Buffer.add_string buf (Tree.to_string t.tree);
+  Buffer.contents buf
+
+let checkpoint_to_file t path =
+  (* Write-then-rename so a crash mid-write never leaves a truncated
+     checkpoint at the target path. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (checkpoint t));
+  Sys.rename tmp path
+
+let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~prop data =
+  let fail fmt = Printf.ksprintf (fun s -> failwith ("Engine.restore: " ^ s)) fmt in
+  let marker = "\ntree:\n" in
+  let mpos =
+    let n = String.length data and m = String.length marker in
+    let rec go i =
+      if i + m > n then fail "missing tree section"
+      else if String.sub data i m = marker then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let header = String.sub data 0 mpos in
+  let tree_text =
+    let start = mpos + String.length marker in
+    String.sub data start (String.length data - start)
+  in
+  let field prefix line =
+    let pl = String.length prefix in
+    if String.length line >= pl && String.sub line 0 pl = prefix then
+      String.trim (String.sub line pl (String.length line - pl))
+    else fail "expected %S, got %S" prefix line
+  in
+  match String.split_on_char '\n' header with
+  | [
+   version;
+   strategy_l;
+   max_calls_l;
+   max_seconds_l;
+   check_every_l;
+   steps_l;
+   calls_l;
+   branchings_l;
+   analyzer_seconds_l;
+   max_frontier_l;
+   max_depth_l;
+   heuristic_failures_l;
+   retries_l;
+   fallback_bounds_l;
+   faults_absorbed_l;
+   elapsed_l;
+   finished_l;
+   frontier_l;
+  ] ->
+      if version <> "ivan-checkpoint 1" then fail "unsupported header %S" version;
+      let strategy =
+        let s = field "strategy:" strategy_l in
+        match Frontier.strategy_of_string s with
+        | Some st -> st
+        | None -> fail "unknown strategy %S" s
+      in
+      let budget_overridden = budget <> None in
+      let budget =
+        match budget with
+        | Some b -> b
+        | None ->
+            {
+              max_analyzer_calls = int_of_string (field "max_calls:" max_calls_l);
+              max_seconds = float_of_token (field "max_seconds:" max_seconds_l);
+            }
+      in
+      let elapsed = float_of_token (field "elapsed:" elapsed_l) in
+      let tree = Tree.of_string tree_text in
+      let t =
+        make ~analyzer ~heuristic ~strategy ~trace ~budget
+          ~check_time_every:(int_of_string (field "check_time_every:" check_every_l))
+          ~policy ~tree ~net ~prop
+          ~started:(Unix.gettimeofday () -. elapsed)
+          ~steps:(int_of_string (field "steps:" steps_l))
+          ~calls:(int_of_string (field "calls:" calls_l))
+          ~branchings:(int_of_string (field "branchings:" branchings_l))
+          ~analyzer_seconds:(float_of_token (field "analyzer_seconds:" analyzer_seconds_l))
+          ~max_frontier:(int_of_string (field "max_frontier:" max_frontier_l))
+          ~max_depth:(int_of_string (field "max_depth:" max_depth_l))
+          ~heuristic_failures:(int_of_string (field "heuristic_failures:" heuristic_failures_l))
+          ~retries:(int_of_string (field "retries:" retries_l))
+          ~fallback_bounds:(int_of_string (field "fallback_bounds:" fallback_bounds_l))
+          ~faults_absorbed:(int_of_string (field "faults_absorbed:" faults_absorbed_l))
+          ()
+      in
+      let nodes = Hashtbl.create 64 in
+      Tree.iter_nodes tree (fun n -> Hashtbl.replace nodes (Tree.node_id n) n);
+      let rec push_frontier = function
+        | [] -> ()
+        | [ tok ] -> fail "dangling frontier token %S" tok
+        | id :: prio :: rest ->
+            let id = int_of_string id in
+            (match Hashtbl.find_opt nodes id with
+            | Some n -> Frontier.push t.frontier ~priority:(float_of_token prio) n
+            | None -> fail "frontier references unknown node %d" id);
+            push_frontier rest
+      in
+      push_frontier
+        (List.filter
+           (fun s -> s <> "")
+           (String.split_on_char ' ' (field "frontier:" frontier_l)));
+      (match String.split_on_char ' ' (field "finished:" finished_l) with
+      | [ "running" ] -> ()
+      | [ "proved" ] ->
+          t.finished <- Some { verdict = Proved; tree; stats = stats_of t ~elapsed }
+      | [ "exhausted" ] ->
+          (* A budget-exhausted run is the one terminal state worth
+             continuing: with a fresh budget and live frontier nodes the
+             engine picks the search back up instead of replaying the
+             recorded Exhausted verdict. *)
+          if not (budget_overridden && Frontier.length t.frontier > 0) then
+            t.finished <- Some { verdict = Exhausted; tree; stats = stats_of t ~elapsed }
+      | "disproved" :: toks when toks <> [] ->
+          let x = Array.of_list (List.map float_of_token toks) in
+          t.finished <- Some { verdict = Disproved x; tree; stats = stats_of t ~elapsed }
+      | _ -> fail "malformed finished line %S" finished_l);
+      t
+  | _ -> fail "malformed header"
+
+let restore_from_file ~analyzer ~heuristic ?trace ?policy ?budget ~net ~prop path =
+  let ic = open_in path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  restore ~analyzer ~heuristic ?trace ?policy ?budget ~net ~prop data

@@ -37,6 +37,13 @@ type stats = {
   heuristic_failures : int;
       (** unsolved nodes the heuristic could not branch (numerical
           failure, reported distinctly from budget exhaustion) *)
+  retries : int;  (** analyzer re-attempts made by the resilience layer *)
+  fallback_bounds : int;
+      (** nodes whose accepted bound came from a degraded (non-primary)
+          analyzer in the fallback chain *)
+  faults_absorbed : int;
+      (** analyzer failures (exceptions or untrustworthy outcomes)
+          swallowed instead of crashing the run *)
 }
 
 type verdict =
@@ -56,6 +63,7 @@ val create :
   ?trace:Trace.sink ->
   ?budget:budget ->
   ?check_time_every:int ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -67,6 +75,15 @@ val create :
     budget checks — the check always fires on the first step, so a zero
     time budget exhausts before any analyzer call.  [initial_tree]
     (default: a single root node) is copied, never mutated.
+
+    [policy], when supplied, hardens the analyzer with
+    {!Ivan_analyzer.Analyzer.with_fallback}: failures are retried, then
+    degraded through cheaper analyzers, and counted into the run's
+    [retries] / [fallback_bounds] / [faults_absorbed] stats and emitted
+    as {!Trace.Retried} / {!Trace.Fallback} / {!Trace.Absorbed} events.
+    Even without a policy the engine absorbs non-fatal analyzer
+    exceptions, turning the node into an [Unknown] outcome rather than
+    crashing the run.
     @raise Invalid_argument if the property's box dimension does not
     match the network input, or if [check_time_every <= 0]. *)
 
@@ -92,3 +109,55 @@ val calls : t -> int
 val frontier_length : t -> int
 
 val finished : t -> run option
+
+(** {2 Checkpoint / resume}
+
+    An engine's complete resumable state — counters, budget, strategy,
+    terminal state, frontier order, and the specification tree — as a
+    self-delimiting text document.  The analyzer, heuristic, network,
+    property, trace sink and resilience policy are code rather than
+    state and are supplied again at {!restore} time; the restored engine
+    continues exactly where the checkpoint was taken (the elapsed-time
+    clock resumes from the recorded value). *)
+
+val checkpoint : t -> string
+(** Serialize the engine's current state.  Safe at any point, including
+    after completion (restoring a terminal checkpoint yields an engine
+    whose {!finished} run is already set). *)
+
+val checkpoint_to_file : t -> string -> unit
+(** {!checkpoint} written atomically: the document goes to a [.tmp]
+    sibling first and is renamed over the target, so a crash mid-write
+    never leaves a truncated checkpoint behind. *)
+
+val restore :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Heuristic.t ->
+  ?trace:Trace.sink ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?budget:budget ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  string ->
+  t
+(** Rebuild an engine from a {!checkpoint} document.  [budget] overrides
+    the recorded budget (e.g. to grant a resumed run more time); all
+    other recorded state — strategy, counters, frontier, tree — is taken
+    from the checkpoint.  Terminal checkpoints stay terminal, with one
+    exception: an [Exhausted] checkpoint restored with an overriding
+    [budget] and a non-empty frontier resumes the search, so a run that
+    ran out of budget can be granted more and continued.
+    @raise Failure on a malformed document.
+    @raise Invalid_argument if [net]/[prop] do not match each other. *)
+
+val restore_from_file :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Heuristic.t ->
+  ?trace:Trace.sink ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?budget:budget ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  string ->
+  t
+(** {!restore} reading the document from a file path. *)

@@ -23,9 +23,13 @@ type t = { name : string; scores : context -> (Decision.t * float) list }
 
 let best scored =
   let pick acc (d, s) =
-    match acc with
-    | None -> Some (d, s)
-    | Some (d0, s0) -> if s > s0 || (s = s0 && Decision.compare d d0 < 0) then Some (d, s) else acc
+    (* A NaN score compares false against everything, which would make
+       the winner depend on list order; treat it as "no score". *)
+    if Float.is_nan s then acc
+    else
+      match acc with
+      | None -> Some (d, s)
+      | Some (d0, s0) -> if s > s0 || (s = s0 && Decision.compare d d0 < 0) then Some (d, s) else acc
   in
   match List.fold_left pick None scored with None -> None | Some (d, _) -> Some d
 

@@ -8,6 +8,9 @@ type event =
   | Split of { node : int; decision : Decision.t; left : int; right : int }
   | Pruned of { node : int }
   | Stuck of { node : int }
+  | Retried of { node : int; analyzer : string; attempt : int; reason : string }
+  | Fallback of { node : int; analyzer : string; reason : string }
+  | Absorbed of { node : int; analyzer : string; reason : string }
   | Verdict of { verdict : string; calls : int; seconds : float }
 
 (* ---------------- sinks ---------------- *)
@@ -65,6 +68,13 @@ let event_to_json = function
         (Decision.to_string decision) left right
   | Pruned { node } -> Printf.sprintf {|{"ev":"pruned","node":%d}|} node
   | Stuck { node } -> Printf.sprintf {|{"ev":"stuck","node":%d}|} node
+  | Retried { node; analyzer; attempt; reason } ->
+      Printf.sprintf {|{"ev":"retried","node":%d,"analyzer":%S,"attempt":%d,"reason":%S}|} node
+        analyzer attempt reason
+  | Fallback { node; analyzer; reason } ->
+      Printf.sprintf {|{"ev":"fallback","node":%d,"analyzer":%S,"reason":%S}|} node analyzer reason
+  | Absorbed { node; analyzer; reason } ->
+      Printf.sprintf {|{"ev":"absorbed","node":%d,"analyzer":%S,"reason":%S}|} node analyzer reason
   | Verdict { verdict; calls; seconds } ->
       Printf.sprintf {|{"ev":"verdict","verdict":%S,"calls":%d,"seconds":%s}|} verdict calls
         (float_token seconds)
@@ -163,6 +173,11 @@ let event_of_json line =
         }
   | "pruned" -> Pruned { node = int "node" }
   | "stuck" -> Stuck { node = int "node" }
+  | "retried" ->
+      Retried
+        { node = int "node"; analyzer = str "analyzer"; attempt = int "attempt"; reason = str "reason" }
+  | "fallback" -> Fallback { node = int "node"; analyzer = str "analyzer"; reason = str "reason" }
+  | "absorbed" -> Absorbed { node = int "node"; analyzer = str "analyzer"; reason = str "reason" }
   | "verdict" -> Verdict { verdict = str "verdict"; calls = int "calls"; seconds = float "seconds" }
   | ev -> failwith (Printf.sprintf "Trace.event_of_json: unknown event %S" ev)
 
@@ -207,6 +222,9 @@ type aggregate = {
   branchings : int;
   pruned : int;
   stuck : int;
+  retries : int;
+  fallbacks : int;
+  absorbed : int;
   max_frontier : int;
   max_depth : int;
   verdict : string option;
@@ -220,6 +238,9 @@ let empty_aggregate =
     branchings = 0;
     pruned = 0;
     stuck = 0;
+    retries = 0;
+    fallbacks = 0;
+    absorbed = 0;
     max_frontier = 0;
     max_depth = 0;
     verdict = None;
@@ -245,6 +266,9 @@ let aggregate events =
       | Split _ -> { acc with branchings = acc.branchings + 1 }
       | Pruned _ -> { acc with pruned = acc.pruned + 1 }
       | Stuck _ -> { acc with stuck = acc.stuck + 1 }
+      | Retried _ -> { acc with retries = acc.retries + 1 }
+      | Fallback _ -> { acc with fallbacks = acc.fallbacks + 1 }
+      | Absorbed _ -> { acc with absorbed = acc.absorbed + 1 }
       | Verdict { verdict; _ } -> { acc with verdict = Some verdict })
     empty_aggregate events
 
@@ -253,4 +277,7 @@ let pp_aggregate fmt a =
     a.analyzer_calls a.analyzer_seconds a.branchings a.max_frontier a.max_depth;
   if a.pruned > 0 then Format.fprintf fmt ", %d pruned" a.pruned;
   if a.stuck > 0 then Format.fprintf fmt ", %d heuristic failures" a.stuck;
+  if a.retries > 0 then Format.fprintf fmt ", %d retries" a.retries;
+  if a.fallbacks > 0 then Format.fprintf fmt ", %d fallback bounds" a.fallbacks;
+  if a.absorbed > 0 then Format.fprintf fmt ", %d faults absorbed" a.absorbed;
   match a.verdict with None -> () | Some v -> Format.fprintf fmt ", verdict %s" v

@@ -22,6 +22,12 @@ type event =
   | Stuck of { node : int }
       (** the heuristic produced no decision on an unsolved node — a
           numerical failure, not budget exhaustion *)
+  | Retried of { node : int; analyzer : string; attempt : int; reason : string }
+      (** the resilience layer re-attempted a failing analyzer *)
+  | Fallback of { node : int; analyzer : string; reason : string }
+      (** a degraded (non-primary) analyzer's bound was accepted *)
+  | Absorbed of { node : int; analyzer : string; reason : string }
+      (** an analyzer failure was swallowed instead of crashing the run *)
   | Verdict of { verdict : string; calls : int; seconds : float }
       (** terminal event: [proved], [disproved] or [exhausted] *)
 
@@ -68,6 +74,9 @@ type aggregate = {
   branchings : int;  (** [Split] events *)
   pruned : int;
   stuck : int;
+  retries : int;  (** [Retried] events *)
+  fallbacks : int;  (** [Fallback] events *)
+  absorbed : int;  (** [Absorbed] events *)
   max_frontier : int;  (** largest frontier observed at a dequeue *)
   max_depth : int;  (** deepest node dequeued *)
   verdict : string option;  (** from the terminal [Verdict] event *)

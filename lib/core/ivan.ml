@@ -15,6 +15,7 @@ type config = {
   theta : float;
   budget : Bab.budget;
   strategy : Ivan_bab.Frontier.strategy;
+  policy : Ivan_analyzer.Analyzer.policy;
 }
 
 let default_config =
@@ -24,30 +25,33 @@ let default_config =
     theta = 0.01;
     budget = Bab.default_budget;
     strategy = Ivan_bab.Frontier.Fifo;
+    policy = Ivan_analyzer.Analyzer.default_policy;
   }
 
 let verify_original ~analyzer ~heuristic ?(budget = Bab.default_budget)
-    ?(strategy = Ivan_bab.Frontier.Fifo) ~net ~prop () =
-  Bab.verify ~analyzer ~heuristic ~strategy ~budget ~net ~prop ()
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Ivan_analyzer.Analyzer.default_policy) ~net
+    ~prop () =
+  Bab.verify ~analyzer ~heuristic ~strategy ~budget ~policy ~net ~prop ()
 
 let verify_updated_with_tree ~analyzer ~heuristic ~config ~original_tree ~updated ~prop =
   let strategy = config.strategy in
+  let policy = config.policy in
   let hdelta () =
     let observed = Effectiveness.observe original_tree in
     Hdelta.make ~base:heuristic ~observed ~alpha:config.alpha ~theta:config.theta
   in
   match config.technique with
   | Baseline ->
-      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~net:updated ~prop ()
+      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy ~net:updated ~prop ()
   | Reuse ->
-      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget
+      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy
         ~initial_tree:original_tree ~net:updated ~prop ()
   | Reorder ->
-      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget ~net:updated
-        ~prop ()
+      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget ~policy
+        ~net:updated ~prop ()
   | Full ->
       let pruned = Prune.prune ~theta:config.theta original_tree in
-      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget
+      Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget ~policy
         ~initial_tree:pruned ~net:updated ~prop ()
 
 let verify_updated ~analyzer ~heuristic ~config ~original_run ~updated ~prop =
@@ -59,7 +63,10 @@ type result = { original : Bab.run; updated : Bab.run }
 let verify_incremental ~analyzer ~heuristic ?(config = default_config) ~net ~updated ~prop () =
   if not (Network.same_architecture net updated) then
     invalid_arg "Ivan.verify_incremental: networks must share an architecture";
-  let original = verify_original ~analyzer ~heuristic ~budget:config.budget ~strategy:config.strategy ~net ~prop () in
+  let original =
+    verify_original ~analyzer ~heuristic ~budget:config.budget ~strategy:config.strategy
+      ~policy:config.policy ~net ~prop ()
+  in
   let updated_run = verify_updated ~analyzer ~heuristic ~config ~original_run:original ~updated ~prop in
   { original; updated = updated_run }
 
@@ -69,7 +76,10 @@ let verify_chain ~analyzer ~heuristic ?(config = default_config) ~net ~updates ~
       if not (Network.same_architecture net u) then
         invalid_arg "Ivan.verify_chain: every update must share the architecture")
     updates;
-  let original = verify_original ~analyzer ~heuristic ~budget:config.budget ~strategy:config.strategy ~net ~prop () in
+  let original =
+    verify_original ~analyzer ~heuristic ~budget:config.budget ~strategy:config.strategy
+      ~policy:config.policy ~net ~prop ()
+  in
   let _, reversed_runs =
     List.fold_left
       (fun (previous, acc) updated ->

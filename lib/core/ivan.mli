@@ -23,18 +23,22 @@ type config = {
   strategy : Ivan_bab.Frontier.strategy;
       (** frontier exploration order of every BaB run this config
           drives; [Fifo] reproduces the paper's breadth-first order *)
+  policy : Ivan_analyzer.Analyzer.policy;
+      (** resilience policy of every BaB run this config drives: retry /
+          fallback / node-timeout behavior on analyzer failures *)
 }
 
 val default_config : config
 (** [Full] with [alpha = 0.25], [theta = 0.01] (the best cell of the
-    paper's Figure 8 sweep), the default BaB budget and the [Fifo]
-    frontier. *)
+    paper's Figure 8 sweep), the default BaB budget, the [Fifo]
+    frontier and {!Ivan_analyzer.Analyzer.default_policy}. *)
 
 val verify_original :
   analyzer:Ivan_analyzer.Analyzer.t ->
   heuristic:Ivan_bab.Heuristic.t ->
   ?budget:Ivan_bab.Bab.budget ->
   ?strategy:Ivan_bab.Frontier.strategy ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   unit ->

@@ -262,6 +262,7 @@ let fig8 ctx fmt =
               theta;
               budget = setting.Runner.budget;
               strategy = setting.Runner.strategy;
+              policy = setting.Runner.policy;
             }
           in
           let _run, tech_time =

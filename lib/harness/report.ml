@@ -88,15 +88,29 @@ let pp_engine_stats fmt (s : Bab.stats) =
     s.Bab.analyzer_calls s.Bab.analyzer_seconds share s.Bab.elapsed_seconds s.Bab.branchings
     s.Bab.tree_size s.Bab.tree_leaves s.Bab.max_frontier s.Bab.max_depth;
   if s.Bab.heuristic_failures > 0 then
-    Format.fprintf fmt "  heuristic failures %d" s.Bab.heuristic_failures
+    Format.fprintf fmt "  heuristic failures %d" s.Bab.heuristic_failures;
+  if s.Bab.retries > 0 then Format.fprintf fmt "  retries %d" s.Bab.retries;
+  if s.Bab.fallback_bounds > 0 then Format.fprintf fmt "  fallback bounds %d" s.Bab.fallback_bounds;
+  if s.Bab.faults_absorbed > 0 then Format.fprintf fmt "  faults absorbed %d" s.Bab.faults_absorbed
+
+(* JSON floats cannot be non-finite; elapsed/analyzer seconds always
+   are, so plain %g is enough here. *)
+let stats_to_json (s : Bab.stats) =
+  Printf.sprintf
+    {|{"analyzer_calls":%d,"branchings":%d,"tree_size":%d,"tree_leaves":%d,"elapsed_seconds":%g,"analyzer_seconds":%g,"max_frontier":%d,"max_depth":%d,"heuristic_failures":%d,"retries":%d,"fallback_bounds":%d,"faults_absorbed":%d}|}
+    s.Bab.analyzer_calls s.Bab.branchings s.Bab.tree_size s.Bab.tree_leaves s.Bab.elapsed_seconds
+    s.Bab.analyzer_seconds s.Bab.max_frontier s.Bab.max_depth s.Bab.heuristic_failures s.Bab.retries
+    s.Bab.fallback_bounds s.Bab.faults_absorbed
 
 let to_csv comparisons =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "instance,property,run,verdict,calls,seconds,tree_size,tree_leaves\n";
+  Buffer.add_string buf
+    "instance,property,run,verdict,calls,seconds,tree_size,tree_leaves,retries,fallback_bounds,faults_absorbed\n";
   let row id name run (m : Runner.measurement) =
     Buffer.add_string buf
-      (Printf.sprintf "%d,%s,%s,%s,%d,%.6f,%d,%d\n" id name run (verdict_name m) m.Runner.calls
-         m.Runner.seconds m.Runner.tree_size m.Runner.tree_leaves)
+      (Printf.sprintf "%d,%s,%s,%s,%d,%.6f,%d,%d,%d,%d,%d\n" id name run (verdict_name m)
+         m.Runner.calls m.Runner.seconds m.Runner.tree_size m.Runner.tree_leaves m.Runner.retries
+         m.Runner.fallback_bounds m.Runner.faults_absorbed)
   in
   List.iter
     (fun (c : Runner.comparison) ->

@@ -8,15 +8,16 @@ type setting = {
   heuristic : Heuristic.t;
   budget : Bab.budget;
   strategy : Ivan_bab.Frontier.strategy;
+  policy : Analyzer.policy;
 }
 
 let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 })
-    ?(strategy = Ivan_bab.Frontier.Fifo) () =
-  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget; strategy }
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =
+  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget; strategy; policy }
 
 let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 })
-    ?(strategy = Ivan_bab.Frontier.Fifo) () =
-  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget; strategy }
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =
+  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget; strategy; policy }
 
 type measurement = {
   verdict : Bab.verdict;
@@ -24,6 +25,9 @@ type measurement = {
   seconds : float;
   tree_size : int;
   tree_leaves : int;
+  retries : int;
+  fallback_bounds : int;
+  faults_absorbed : int;
 }
 
 let solved m = match m.verdict with Bab.Proved | Bab.Disproved _ -> true | Bab.Exhausted -> false
@@ -42,6 +46,9 @@ let measure_of_run (run : Bab.run) seconds =
     seconds;
     tree_size = run.Bab.stats.Bab.tree_size;
     tree_leaves = run.Bab.stats.Bab.tree_leaves;
+    retries = run.Bab.stats.Bab.retries;
+    fallback_bounds = run.Bab.stats.Bab.fallback_bounds;
+    faults_absorbed = run.Bab.stats.Bab.faults_absorbed;
   }
 
 let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Workload.instance) =
@@ -49,18 +56,26 @@ let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Wor
   let original_run, original_time =
     Clock.timed (fun () ->
         Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~net ~prop ())
+          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy ~net ~prop ())
   in
   let baseline_run, baseline_time =
     Clock.timed (fun () ->
         Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~net:updated ~prop ())
+          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy ~net:updated
+          ~prop ())
   in
   let technique_runs =
     List.map
       (fun technique ->
         let config =
-          { Ivan.technique; alpha; theta; budget = setting.budget; strategy = setting.strategy }
+          {
+            Ivan.technique;
+            alpha;
+            theta;
+            budget = setting.budget;
+            strategy = setting.strategy;
+            policy = setting.policy;
+          }
         in
         let run, seconds =
           Clock.timed (fun () ->

@@ -14,18 +14,31 @@ type setting = {
   strategy : Ivan_bab.Frontier.strategy;
       (** frontier exploration order used by every BaB run of the
           setting (original, baseline and incremental alike) *)
+  policy : Ivan_analyzer.Analyzer.policy;
+      (** resilience (retry / fallback / node-timeout) policy used by
+          every BaB run of the setting *)
 }
 
 val classifier_setting :
-  ?budget:Ivan_bab.Bab.budget -> ?strategy:Ivan_bab.Frontier.strategy -> unit -> setting
+  ?budget:Ivan_bab.Bab.budget ->
+  ?strategy:Ivan_bab.Frontier.strategy ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  unit ->
+  setting
 (** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
     paper's §6.1 baseline stack).  Default budget: 400 calls, 30 s;
-    default strategy: [Fifo]. *)
+    default strategy: [Fifo]; default policy:
+    {!Ivan_analyzer.Analyzer.default_policy}. *)
 
 val acas_setting :
-  ?budget:Ivan_bab.Bab.budget -> ?strategy:Ivan_bab.Frontier.strategy -> unit -> setting
+  ?budget:Ivan_bab.Bab.budget ->
+  ?strategy:Ivan_bab.Frontier.strategy ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  unit ->
+  setting
 (** Zonotope analyzer + smear input splitting (§6.4 stack).  Default
-    budget: 3000 calls, 60 s; default strategy: [Fifo]. *)
+    budget: 3000 calls, 60 s; default strategy: [Fifo]; default policy:
+    {!Ivan_analyzer.Analyzer.default_policy}. *)
 
 type measurement = {
   verdict : Ivan_bab.Bab.verdict;
@@ -33,6 +46,9 @@ type measurement = {
   seconds : float;
   tree_size : int;
   tree_leaves : int;
+  retries : int;  (** analyzer re-attempts by the resilience layer *)
+  fallback_bounds : int;  (** nodes bounded by a degraded analyzer *)
+  faults_absorbed : int;  (** analyzer failures swallowed *)
 }
 
 val solved : measurement -> bool

@@ -39,6 +39,7 @@ let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated i
               theta;
               budget = setting.Runner.budget;
               strategy = setting.Runner.strategy;
+              policy = setting.Runner.policy;
             }
           in
           let _run, tech_time =

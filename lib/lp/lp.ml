@@ -17,6 +17,16 @@ type result = Optimal of solution | Infeasible | Unbounded
 
 exception Iteration_limit
 
+exception Numerical_failure of string
+
+(* Observation/injection point for every [solve] call.  The resilience
+   layer installs a hook here to run deterministic fault campaigns;
+   production code leaves it at [None].  A plain ref, not domain-safe:
+   fault injection is a single-domain testing facility. *)
+let solve_hook : (problem -> unit) option ref = ref None
+
+let set_solve_hook h = solve_hook := h
+
 let create n =
   if n < 0 then invalid_arg "Lp.create: negative variable count";
   {
@@ -119,6 +129,13 @@ let refresh_cost_row t c =
 let pivot t r j =
   let prow = t.tab.(r) in
   let piv = prow.(j) in
+  (* A non-finite or collapsed pivot means the tableau has degraded past
+     the point where further elimination is meaningful: dividing by it
+     would spray NaN/inf across the basis.  Fail loudly instead of
+     looping on garbage. *)
+  if not (Float.is_finite piv) || Float.abs piv < 1e-12 then
+    raise
+      (Numerical_failure (Printf.sprintf "pivot element %h at row %d, column %d" piv r j));
   let inv = 1.0 /. piv in
   for k = 0 to t.ncols - 1 do
     prow.(k) <- prow.(k) *. inv
@@ -260,6 +277,20 @@ let simplex_step t ~bland =
     end
   end
 
+(* NaN anywhere in the basic values or reduced costs silently corrupts
+   the entering/leaving choices (every comparison against NaN is false),
+   so the loop would either cycle forever or stop at a garbage "optimum".
+   Checked at the same cadence as the periodic refresh. *)
+let check_tableau_finite t =
+  for i = 0 to t.m - 1 do
+    if Float.is_nan t.bval.(i) || Float.is_nan t.rhs_col.(i) then
+      raise (Numerical_failure (Printf.sprintf "non-finite basic value in row %d" i))
+  done;
+  for j = 0 to t.ncols - 1 do
+    if Float.is_nan t.zrow.(j) then
+      raise (Numerical_failure (Printf.sprintf "non-finite reduced cost in column %d" j))
+  done
+
 (* Run simplex iterations to optimality for the current cost row. *)
 let optimize t =
   let iter = ref 0 in
@@ -268,7 +299,10 @@ let optimize t =
   while !finished = None do
     incr iter;
     if !iter > max_iterations then raise Iteration_limit;
-    if !iter mod 64 = 0 then refresh_basic_values t;
+    if !iter mod 64 = 0 then begin
+      refresh_basic_values t;
+      check_tableau_finite t
+    end;
     let bland = !degenerate_streak > 2 * (t.m + 1) in
     let before = Array.copy t.bval in
     (match simplex_step t ~bland with
@@ -283,7 +317,30 @@ let optimize t =
   done;
   match !finished with Some `Optimal -> `Optimal | Some `Unbounded -> `Unbounded | None -> assert false
 
+(* Reject problems that are already numerically corrupt.  Infinite
+   variable bounds are legal (they mean "unbounded in that direction"),
+   but NaN bounds and non-finite coefficients or right-hand sides have no
+   meaning the simplex could preserve. *)
+let validate_problem p =
+  for j = 0 to p.nvars - 1 do
+    if Float.is_nan p.lo.(j) || Float.is_nan p.hi.(j) then
+      raise (Numerical_failure (Printf.sprintf "NaN bound on variable %d" j));
+    if not (Float.is_finite p.obj.(j)) then
+      raise (Numerical_failure (Printf.sprintf "non-finite objective coefficient on variable %d" j))
+  done;
+  List.iter
+    (fun { coeffs; rhs; _ } ->
+      if not (Float.is_finite rhs) then raise (Numerical_failure "non-finite constraint rhs");
+      List.iter
+        (fun (j, a) ->
+          if not (Float.is_finite a) then
+            raise (Numerical_failure (Printf.sprintf "non-finite coefficient on variable %d" j)))
+        coeffs)
+    p.rows_rev
+
 let solve p =
+  (match !solve_hook with Some f -> f p | None -> ());
+  validate_problem p;
   let n = p.nvars in
   let m = p.nrows in
   let rows = Array.of_list (List.rev p.rows_rev) in

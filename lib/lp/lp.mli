@@ -29,6 +29,21 @@ exception Iteration_limit
     cap — a numerical-failure escape hatch.  Callers that need soundness
     (the verifier's analyzers) treat it as an inconclusive answer. *)
 
+exception Numerical_failure of string
+(** Raised by {!solve} when the tableau degrades past repair: a NaN bound
+    or non-finite coefficient in the input, a non-finite or collapsed
+    pivot element, or NaN contaminating the basic values / reduced costs
+    mid-run.  Distinct from {!Iteration_limit} so callers can tell "too
+    slow" apart from "numerically broken"; both must be treated as
+    inconclusive, never as an optimum. *)
+
+val set_solve_hook : (problem -> unit) option -> unit
+(** Install (or clear, with [None]) a hook invoked at the start of every
+    {!solve} call, before validation.  Used by the resilience layer to
+    inject deterministic faults during campaigns; production code leaves
+    it unset.  The hook is a plain global, not domain-safe — it is a
+    single-domain testing facility. *)
+
 val create : int -> problem
 (** [create n] is a problem over [n] variables with zero objective and
     free variables ([-inf, +inf]).  @raise Invalid_argument if [n < 0]. *)

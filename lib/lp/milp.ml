@@ -4,6 +4,7 @@ type result =
   | Optimal of { objective : float; primal : float array; stats : stats }
   | Infeasible of stats
   | Node_limit of stats
+  | Solver_failure of stats
 
 let eps_integral = 1e-6
 
@@ -67,13 +68,22 @@ let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
               Lp.set_bounds p j lo hi
         end
   in
-  let capped =
-    match explore () with () -> false | exception Out_of_nodes -> true
+  let outcome =
+    match explore () with
+    | () -> `Done
+    | exception Out_of_nodes -> `Capped
+    | exception (Lp.Iteration_limit | Lp.Numerical_failure _) ->
+        (* An inner LP gave up; the search below this node is incomplete,
+           so no exact answer exists.  Surfaced as a result rather than
+           an exception so callers degrade instead of crashing. *)
+        `Failed
   in
   restore ();
   let stats = { nodes = !nodes; lp_solves = !lp_solves } in
-  if capped then Node_limit stats
-  else
-    match !best_primal with
-    | Some primal -> Optimal { objective = !best_obj; primal; stats }
-    | None -> Infeasible stats
+  match outcome with
+  | `Capped -> Node_limit stats
+  | `Failed -> Solver_failure stats
+  | `Done -> (
+      match !best_primal with
+      | Some primal -> Optimal { objective = !best_obj; primal; stats }
+      | None -> Infeasible stats)

@@ -17,6 +17,10 @@ type result =
       (** the node cap was hit before the search finished; no exact
           answer (incumbent, if any, is not returned to keep misuse
           hard) *)
+  | Solver_failure of stats
+      (** an inner LP raised {!Lp.Iteration_limit} or
+          {!Lp.Numerical_failure}; the search is incomplete, so no exact
+          answer.  Problem bounds are restored before returning. *)
 
 val solve :
   ?max_nodes:int ->
@@ -31,6 +35,7 @@ val solve :
     solve); branches whose LP relaxation cannot beat it are pruned, and
     if no solution improves on it the result is [Infeasible] (meaning:
     the true optimum is at least [incumbent]).  Binary variables must
-    have bounds within [0, 1].
-    @raise Invalid_argument on out-of-range or mis-bounded binaries.
-    @raise Lp.Iteration_limit if an inner LP solve fails numerically. *)
+    have bounds within [0, 1].  Inner LP failures ({!Lp.Iteration_limit},
+    {!Lp.Numerical_failure}) are absorbed into [Solver_failure] rather
+    than escaping.
+    @raise Invalid_argument on out-of-range or mis-bounded binaries. *)

@@ -1,0 +1,139 @@
+(* Deterministic, seeded fault injection for resilience campaigns. *)
+
+module Lp = Ivan_lp.Lp
+module Analyzer = Ivan_analyzer.Analyzer
+
+exception Injected of string
+
+type kind =
+  | Lp_iteration_blowup
+  | Lp_numerical
+  | Nan_bounds
+  | Inf_bounds
+  | Latency of float
+  | Transient of string
+
+let kind_name = function
+  | Lp_iteration_blowup -> "lp-iteration-blowup"
+  | Lp_numerical -> "lp-numerical"
+  | Nan_bounds -> "nan-bounds"
+  | Inf_bounds -> "inf-bounds"
+  | Latency _ -> "latency"
+  | Transient _ -> "transient"
+
+let all_kinds =
+  [
+    Lp_iteration_blowup;
+    Lp_numerical;
+    Nan_bounds;
+    Inf_bounds;
+    Latency 0.001;
+    Transient "injected transient fault";
+  ]
+
+type site = Lp_solve | Analyzer_run
+
+let site_tag = function Lp_solve -> 0 | Analyzer_run -> 1
+
+type plan = {
+  seed : int;
+  lp_rate : float;
+  analyzer_rate : float;
+  kinds : kind array;
+  mutable lp_calls : int;
+  mutable analyzer_calls : int;
+  mutable injected : int;
+}
+
+let plan ?(lp_rate = 0.0) ?(analyzer_rate = 0.0) ?(kinds = all_kinds) ~seed () =
+  let check name r =
+    if not (r >= 0.0 && r <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault.plan: %s must lie in [0, 1]" name)
+  in
+  check "lp_rate" lp_rate;
+  check "analyzer_rate" analyzer_rate;
+  if kinds = [] then invalid_arg "Fault.plan: empty kind list";
+  {
+    seed;
+    lp_rate;
+    analyzer_rate;
+    kinds = Array.of_list kinds;
+    lp_calls = 0;
+    analyzer_calls = 0;
+    injected = 0;
+  }
+
+let injected p = p.injected
+
+let calls p = function Lp_solve -> p.lp_calls | Analyzer_run -> p.analyzer_calls
+
+(* The whole schedule is a pure function of (seed, site, call index):
+   [Hashtbl.hash] is deterministic across runs (it seeds from the value
+   only), so a campaign replays identically from the same plan
+   parameters.  Distinct salts decorrelate the fire decision from the
+   kind choice. *)
+let unit_float h = float_of_int (h land 0xFFFFF) /. 1048576.0
+
+let fires p site n rate = rate > 0.0 && unit_float (Hashtbl.hash (p.seed, site_tag site, n, 17)) < rate
+
+let pick_kind p site n =
+  p.kinds.(Hashtbl.hash (p.seed, site_tag site, n, 31) mod Array.length p.kinds)
+
+let decide p site =
+  let n =
+    match site with
+    | Lp_solve ->
+        let n = p.lp_calls in
+        p.lp_calls <- n + 1;
+        n
+    | Analyzer_run ->
+        let n = p.analyzer_calls in
+        p.analyzer_calls <- n + 1;
+        n
+  in
+  let rate = match site with Lp_solve -> p.lp_rate | Analyzer_run -> p.analyzer_rate in
+  if fires p site n rate then begin
+    p.injected <- p.injected + 1;
+    Some (pick_kind p site n)
+  end
+  else None
+
+(* At the LP boundary only exceptions and latency are expressible: the
+   solve hook cannot replace the result, so the bound-corruption kinds
+   map onto {!Lp.Numerical_failure} (the closest observable effect of a
+   NaN/inf-contaminated tableau). *)
+let apply_lp_fault = function
+  | Lp_iteration_blowup -> raise Lp.Iteration_limit
+  | Lp_numerical -> raise (Lp.Numerical_failure "injected numerical failure")
+  | Nan_bounds | Inf_bounds -> raise (Lp.Numerical_failure "injected non-finite tableau")
+  | Latency s -> Unix.sleepf s
+  | Transient msg -> raise (Injected msg)
+
+let with_lp_faults p f =
+  Lp.set_solve_hook
+    (Some (fun _problem -> match decide p Lp_solve with None -> () | Some k -> apply_lp_fault k));
+  Fun.protect ~finally:(fun () -> Lp.set_solve_hook None) f
+
+let wrap_analyzer p a =
+  let run net ~prop ~box ~splits =
+    match decide p Analyzer_run with
+    | None -> a.Analyzer.run net ~prop ~box ~splits
+    | Some Lp_iteration_blowup -> raise Lp.Iteration_limit
+    | Some Lp_numerical -> raise (Lp.Numerical_failure "injected numerical failure")
+    | Some (Transient msg) -> raise (Injected msg)
+    | Some (Latency s) ->
+        Unix.sleepf s;
+        a.Analyzer.run net ~prop ~box ~splits
+    | Some Nan_bounds ->
+        (* A corrupt "don't know" with a poisoned bound: the sanitation
+           layer must reject it rather than record the NaN. *)
+        { Analyzer.status = Analyzer.Unknown; lb = nan; bounds = None; zono = None }
+    | Some Inf_bounds ->
+        (* Corrupt only the reported bound, never the status: a
+           fabricated [Verified] would let the injector itself break
+           soundness.  A genuine [Verified] carrying [-inf] is exactly
+           the inconsistency the sanitation layer must distrust. *)
+        let o = a.Analyzer.run net ~prop ~box ~splits in
+        { o with Analyzer.lb = neg_infinity }
+  in
+  { a with Analyzer.run }

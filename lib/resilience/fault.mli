@@ -1,0 +1,68 @@
+(** Deterministic, seeded fault injection for resilience campaigns.
+
+    A {!plan} describes a reproducible per-call-site fault schedule: at
+    the LP boundary (every [Lp.solve], via the solve hook) and at the
+    analyzer boundary (via {!wrap_analyzer}), each call independently
+    fires a fault with the site's configured rate.  The schedule is a
+    pure function of [(seed, site, call index)] — no global randomness —
+    so a campaign replays identically from the same plan parameters,
+    which is what makes fault-matrix sweeps and failure reproduction
+    possible in tests.
+
+    The injector is sound by construction: it raises exceptions, delays
+    calls, or corrupts reported bounds, but never fabricates a
+    [Verified] or [Counterexample] status — so any verdict change it
+    causes can only be a weakening to [Exhausted]. *)
+
+exception Injected of string
+(** The transient-fault exception — deliberately foreign to the LP and
+    analyzer layers, standing in for "anything else that can go wrong"
+    (a solver glitch, a dropped connection to an external back-end). *)
+
+type kind =
+  | Lp_iteration_blowup  (** the simplex hits its iteration cap *)
+  | Lp_numerical  (** the tableau degrades numerically *)
+  | Nan_bounds  (** a NaN bound leaks out of the analyzer *)
+  | Inf_bounds  (** the analyzer's reported bound collapses to [-inf] *)
+  | Latency of float  (** the call stalls for the given seconds *)
+  | Transient of string  (** an arbitrary transient exception *)
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+(** One representative of every kind (latency 1 ms, a generic transient
+    message) — the default mix of {!plan}. *)
+
+type site = Lp_solve | Analyzer_run
+
+type plan
+
+val plan : ?lp_rate:float -> ?analyzer_rate:float -> ?kinds:kind list -> seed:int -> unit -> plan
+(** Fresh plan (call counters at zero).  Rates default to [0.0] — no
+    injection at that site; [kinds] defaults to {!all_kinds}.
+    @raise Invalid_argument on a rate outside [0, 1] or an empty kind
+    list. *)
+
+val injected : plan -> int
+(** Faults fired so far. *)
+
+val calls : plan -> site -> int
+(** Calls observed so far at a site (fired or not). *)
+
+val decide : plan -> site -> kind option
+(** Advance the site's call counter and return the fault (if any) the
+    schedule assigns to this call.  Exposed for tests; {!with_lp_faults}
+    and {!wrap_analyzer} call it internally. *)
+
+val with_lp_faults : plan -> (unit -> 'a) -> 'a
+(** Run a thunk with the plan installed as the {!Ivan_lp.Lp} solve hook,
+    uninstalling it afterwards (also on exceptions).  Exception-kind
+    faults surface as [Lp.Iteration_limit] / [Lp.Numerical_failure] /
+    {!Injected} out of [Lp.solve]; the bound-corruption kinds map onto
+    [Lp.Numerical_failure] (the hook cannot alter results).  Not
+    reentrant — the hook is a single global. *)
+
+val wrap_analyzer : plan -> Ivan_analyzer.Analyzer.t -> Ivan_analyzer.Analyzer.t
+(** The analyzer with the plan's faults injected at its boundary:
+    exceptions and latency before the underlying call, bound corruption
+    (NaN, [-inf]) on its outcome.  Status is never fabricated. *)

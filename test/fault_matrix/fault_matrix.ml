@@ -1,0 +1,116 @@
+(* Fault-matrix sweep: seeds x fault kinds x verification stacks.
+
+   Property checked on every schedule: a verification run under
+   injected faults (LP blowups, NaN/inf bounds, latency, transient
+   exceptions) never escapes an exception, never flips a decisive
+   verdict relative to the fault-free reference run — it may only
+   weaken to Exhausted — reports only concretely-genuine
+   counterexamples, and always leaves a well-formed specification
+   tree.
+
+   Run via the alias:  dune build @fault-matrix *)
+
+module Vec = Ivan_tensor.Vec
+module Mat = Ivan_tensor.Mat
+module Layer = Ivan_nn.Layer
+module Network = Ivan_nn.Network
+module Box = Ivan_spec.Box
+module Prop = Ivan_spec.Prop
+module Analyzer = Ivan_analyzer.Analyzer
+module Heuristic = Ivan_bab.Heuristic
+module Bab = Ivan_bab.Bab
+module Tree = Ivan_spectree.Tree
+module Fault = Ivan_resilience.Fault
+
+(* The paper's running example (Fig. 2), self-contained: this
+   executable builds in its own directory and cannot see test/
+   fixtures. *)
+let net =
+  let dense ?(activation = Layer.Relu) weights bias =
+    Layer.make (Layer.Dense { weights = Mat.of_arrays weights; bias }) activation
+  in
+  Network.make
+    [
+      dense [| [| 2.0; -1.0 |]; [| 1.0; 1.0 |] |] [| 0.0; 0.0 |];
+      dense [| [| 1.0; -2.0 |]; [| -1.0; 1.0 |] |] [| 0.0; 0.0 |];
+      dense ~activation:Layer.Identity [| [| 1.0; -1.0 |] |] [| 0.0 |];
+    ]
+
+(* psi = (o1 + k >= 0) over [0,1]^2; the exact minimum of o1 is -1.5,
+   so k = 1.3 is violated and k = 1.7 holds. *)
+let prop offset =
+  let input = Box.make ~lo:(Vec.of_list [ 0.0; 0.0 ]) ~hi:(Vec.of_list [ 1.0; 1.0 ]) in
+  Prop.make
+    ~name:(Printf.sprintf "paper+%g" offset)
+    ~input ~c:(Vec.of_list [ 1.0 ]) ~offset
+
+let stacks =
+  [
+    ("classifier", Analyzer.lp_triangle (), Heuristic.zono_coeff);
+    ("acas", Analyzer.zonotope (), Heuristic.input_smear);
+  ]
+
+let budget = { Bab.max_analyzer_calls = 300; max_seconds = 20.0 }
+
+let schedules = ref 0
+let injected = ref 0
+let weakened = ref 0
+let failures = ref 0
+
+let fail label fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %-40s %s\n%!" label msg)
+    fmt
+
+let run_schedule label analyzer heuristic property reference plan =
+  incr schedules;
+  match
+    Fault.with_lp_faults plan (fun () ->
+        Bab.verify
+          ~analyzer:(Fault.wrap_analyzer plan analyzer)
+          ~heuristic ~budget ~policy:Analyzer.default_policy ~net ~prop:property ())
+  with
+  | exception e -> fail label "uncaught exception %s" (Printexc.to_string e)
+  | faulted -> (
+      injected := !injected + Fault.injected plan;
+      (match (reference.Bab.verdict, faulted.Bab.verdict) with
+      | Bab.Proved, Bab.Proved | Bab.Disproved _, Bab.Disproved _ | Bab.Exhausted, _ -> ()
+      | (Bab.Proved | Bab.Disproved _), Bab.Exhausted -> incr weakened
+      | _ -> fail label "verdict flipped under faults");
+      (match faulted.Bab.verdict with
+      | Bab.Disproved x when not (Analyzer.check_concrete net ~prop:property x) ->
+          fail label "counterexample does not reproduce concretely"
+      | _ -> ());
+      if not (Tree.well_formed faulted.Bab.tree) then fail label "malformed tree")
+
+let () =
+  List.iter
+    (fun (stack, analyzer, heuristic) ->
+      List.iter
+        (fun offset ->
+          let property = prop offset in
+          let reference = Bab.verify ~analyzer ~heuristic ~budget ~net ~prop:property () in
+          (* Mixed-kind schedules over many seeds. *)
+          for seed = 1 to 15 do
+            run_schedule
+              (Printf.sprintf "%s k=%g mixed seed=%d" stack offset seed)
+              analyzer heuristic property reference
+              (Fault.plan ~lp_rate:0.15 ~analyzer_rate:0.15 ~seed ());
+          done;
+          (* Each fault kind in isolation, at a higher rate. *)
+          List.iter
+            (fun kind ->
+              for seed = 1 to 3 do
+                run_schedule
+                  (Printf.sprintf "%s k=%g %s seed=%d" stack offset (Fault.kind_name kind) seed)
+                  analyzer heuristic property reference
+                  (Fault.plan ~lp_rate:0.25 ~analyzer_rate:0.25 ~kinds:[ kind ] ~seed ())
+              done)
+            Fault.all_kinds)
+        [ 1.3; 1.7 ])
+    stacks;
+  Printf.printf "fault-matrix: %d schedules, %d faults injected, %d weakened to unknown, %d failures\n"
+    !schedules !injected !weakened !failures;
+  if !failures > 0 then exit 1

@@ -282,6 +282,9 @@ let sample_events =
     Trace.Split { node = 1; decision = Decision.Input_split 0; left = 3; right = 4 };
     Trace.Pruned { node = 2 };
     Trace.Stuck { node = 3 };
+    Trace.Retried { node = 4; analyzer = "lp-triangle"; attempt = 2; reason = "Lp.Iteration_limit" };
+    Trace.Fallback { node = 4; analyzer = "interval"; reason = "degraded after retries" };
+    Trace.Absorbed { node = 5; analyzer = "lp-triangle"; reason = "injected \"fault\"" };
     Trace.Analyzed { node = 1; status = "verified"; lb = neg_infinity; seconds = nan };
     Trace.Verdict { verdict = "proved"; calls = 7; seconds = 1.5 };
   ]

@@ -92,7 +92,16 @@ let test_report_summarize () =
       ~c:(Vec.of_list [ 1.0 ]) ~offset:0.0
   in
   let m ?(verdict = Bab.Proved) calls seconds =
-    { Runner.verdict; calls; seconds; tree_size = 1; tree_leaves = 1 }
+    {
+      Runner.verdict;
+      calls;
+      seconds;
+      tree_size = 1;
+      tree_leaves = 1;
+      retries = 0;
+      fallback_bounds = 0;
+      faults_absorbed = 0;
+    }
   in
   let comparison id base tech =
     {
@@ -122,7 +131,18 @@ let test_report_summarize () =
   Alcotest.(check (float 1e-9)) "geomean time" 2.0 s.Report.geomean_time
 
 let test_report_verdict_counts () =
-  let m verdict = { Runner.verdict; calls = 1; seconds = 0.0; tree_size = 1; tree_leaves = 1 } in
+  let m verdict =
+    {
+      Runner.verdict;
+      calls = 1;
+      seconds = 0.0;
+      tree_size = 1;
+      tree_leaves = 1;
+      retries = 0;
+      fallback_bounds = 0;
+      faults_absorbed = 0;
+    }
+  in
   let v, c, u =
     Report.verdict_counts
       [ m Bab.Proved; m Bab.Proved; m (Bab.Disproved [| 0.0 |]); m Bab.Exhausted ]
@@ -143,8 +163,28 @@ let test_report_split_hard () =
   let with_tree_size id tree_size =
     {
       Runner.instance = { Workload.id; prop = dummy_prop };
-      original = { Runner.verdict = Bab.Proved; calls = 1; seconds = 0.0; tree_size; tree_leaves = 1 };
-      baseline = { Runner.verdict = Bab.Proved; calls = 1; seconds = 0.0; tree_size = 1; tree_leaves = 1 };
+      original =
+        {
+          Runner.verdict = Bab.Proved;
+          calls = 1;
+          seconds = 0.0;
+          tree_size;
+          tree_leaves = 1;
+          retries = 0;
+          fallback_bounds = 0;
+          faults_absorbed = 0;
+        };
+      baseline =
+        {
+          Runner.verdict = Bab.Proved;
+          calls = 1;
+          seconds = 0.0;
+          tree_size = 1;
+          tree_leaves = 1;
+          retries = 0;
+          fallback_bounds = 0;
+          faults_absorbed = 0;
+        };
       techniques = [];
     }
   in

@@ -284,6 +284,7 @@ let milp_opt name result =
   | Milp.Optimal { objective; primal; stats } -> (objective, primal, stats)
   | Milp.Infeasible _ -> Alcotest.failf "%s: unexpectedly infeasible" name
   | Milp.Node_limit _ -> Alcotest.failf "%s: hit node limit" name
+  | Milp.Solver_failure _ -> Alcotest.failf "%s: solver failure" name
 
 (* 0-1 knapsack as a MILP: max 10a + 6b + 4c s.t. a+b+c <= 2 -> min of
    the negation; optimum picks a and b: -16. *)
@@ -335,7 +336,8 @@ let test_milp_infeasible () =
   Lp.add_constraint p [ (0, 1.0); (1, 1.0) ] Lp.Eq 0.5;
   match Milp.solve p ~integer:[ 0; 1 ] with
   | Milp.Infeasible _ -> ()
-  | Milp.Optimal _ | Milp.Node_limit _ -> Alcotest.fail "expected infeasible"
+  | Milp.Optimal _ | Milp.Node_limit _ | Milp.Solver_failure _ ->
+      Alcotest.fail "expected infeasible"
 
 let test_milp_node_limit () =
   (* Fractional capacity keeps the relaxation non-integral, so one node
@@ -350,6 +352,7 @@ let test_milp_node_limit () =
   | Milp.Node_limit _ -> ()
   | Milp.Optimal _ -> Alcotest.fail "node limit not enforced"
   | Milp.Infeasible _ -> Alcotest.fail "wrongly infeasible"
+  | Milp.Solver_failure _ -> Alcotest.fail "solver failure"
 
 let test_milp_warm_start_prunes () =
   let p = knapsack_problem () in
@@ -357,17 +360,19 @@ let test_milp_warm_start_prunes () =
   let cold_nodes =
     match cold with
     | Milp.Optimal { stats; _ } -> stats.Milp.nodes
-    | Milp.Infeasible _ | Milp.Node_limit _ -> Alcotest.fail "cold solve failed"
+    | Milp.Infeasible _ | Milp.Node_limit _ | Milp.Solver_failure _ ->
+        Alcotest.fail "cold solve failed"
   in
   (* Warm start at the optimum: nothing strictly better exists. *)
   (match Milp.solve ~incumbent:(-16.0) p ~integer:[ 0; 1; 2 ] with
   | Milp.Infeasible s -> Alcotest.(check bool) "pruned harder" true (s.Milp.nodes <= cold_nodes)
   | Milp.Optimal _ -> Alcotest.fail "nothing beats the optimum incumbent"
-  | Milp.Node_limit _ -> Alcotest.fail "node limit");
+  | Milp.Node_limit _ | Milp.Solver_failure _ -> Alcotest.fail "node limit");
   (* Warm start strictly above the optimum still finds it. *)
   match Milp.solve ~incumbent:(-15.0) p ~integer:[ 0; 1; 2 ] with
   | Milp.Optimal { objective; _ } -> Alcotest.(check (float 1e-6)) "optimum found" (-16.0) objective
-  | Milp.Infeasible _ | Milp.Node_limit _ -> Alcotest.fail "warm solve failed"
+  | Milp.Infeasible _ | Milp.Node_limit _ | Milp.Solver_failure _ ->
+      Alcotest.fail "warm solve failed"
 
 let test_milp_invalid_binary () =
   let p = Lp.create 1 in
@@ -401,7 +406,7 @@ let prop_milp_matches_enumeration =
       done;
       match Milp.solve p ~integer:(List.init n (fun j -> j)) with
       | Milp.Optimal { objective; _ } -> Float.abs (objective -. !best) < 1e-6
-      | Milp.Infeasible _ | Milp.Node_limit _ -> false)
+      | Milp.Infeasible _ | Milp.Node_limit _ | Milp.Solver_failure _ -> false)
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in

@@ -12,6 +12,7 @@ let () =
       ("spectree", Test_spectree.suite);
       ("bab", Test_bab.suite);
       ("engine", Test_engine.suite);
+      ("resilience", Test_resilience.suite);
       ("core", Test_core.suite);
       ("harness", Test_harness.suite);
       ("leaky", Test_leaky.suite);
