@@ -97,6 +97,22 @@ let trace_out_arg =
   let doc = "Write a JSONL engine trace (one event per line) to FILE." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+(* LP warm starting only changes how node LPs are solved (parent-basis
+   simplex warm starts vs. cold Phase-1 restarts); verdicts, bounds and
+   trees are identical either way, so the flag is a pure performance
+   toggle — kept for benchmarking and as a numerical escape hatch. *)
+let lp_warm_arg =
+  let warm =
+    ( true,
+      Arg.info [ "lp-warm" ]
+        ~doc:"Warm-start each node LP from the parent node's simplex basis (default)." )
+  in
+  let cold =
+    ( false,
+      Arg.info [ "no-lp-warm" ] ~doc:"Solve every node LP from scratch (cold Phase-1 start)." )
+  in
+  Arg.(value & vflag true [ warm; cold ])
+
 (* Resilience policy: how analyzer failures are retried and degraded
    (Analyzer.with_fallback).  Shared by every verifying subcommand. *)
 let policy_term =
@@ -143,11 +159,13 @@ let verdict_string = function
   | Bab.Disproved _ -> "counterexample"
   | Bab.Exhausted -> "unknown (budget)"
 
-let setting_for spec budget_calls strategy policy =
+let setting_for ?(lp_warm = true) spec budget_calls strategy policy =
   let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
   match spec.Zoo.kind with
-  | Zoo.Acas -> Runner.acas_setting ~budget ~strategy ~policy ()
-  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ~strategy ~policy ()
+  | Zoo.Acas ->
+      (* The ACAS stack bounds with zonotopes, not LPs; nothing to warm. *)
+      Runner.acas_setting ~budget ~strategy ~policy ()
+  | Zoo.Image_classifier -> Runner.classifier_setting ~budget ~strategy ~policy ~lp_warm ()
 
 let instances_for spec net count =
   match spec.Zoo.kind with
@@ -199,9 +217,9 @@ let train_cmd =
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let run spec cache count budget_calls strategy policy trace_out =
+  let run spec cache count budget_calls strategy policy lp_warm trace_out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls strategy policy in
+    let setting = setting_for ~lp_warm spec budget_calls strategy policy in
     let instances = instances_for spec net count in
     Format.printf "verifying %d properties on %s (%s frontier)@." (List.length instances)
       spec.Zoo.name
@@ -234,15 +252,15 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify properties of a zoo model from scratch.")
     Term.(
       const run $ model_arg $ cache_arg $ instances_arg 10 $ budget_arg $ strategy_arg
-      $ policy_term $ trace_out_arg)
+      $ policy_term $ lp_warm_arg $ trace_out_arg)
 
 (* ---------------- incremental ---------------- *)
 
 let incremental_cmd =
-  let run spec cache update count budget_calls alpha theta strategy policy =
+  let run spec cache update count budget_calls alpha theta strategy policy lp_warm =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls strategy policy in
+    let setting = setting_for ~lp_warm spec budget_calls strategy policy in
     let instances = instances_for spec net count in
     Format.printf "incremental verification of %s under the %s update (%d instances, %s frontier)@."
       spec.Zoo.name (update_name update) (List.length instances)
@@ -278,7 +296,7 @@ let incremental_cmd =
     (Cmd.info "incremental" ~doc:"Compare baseline vs. IVAN on a network update.")
     Term.(
       const run $ model_arg $ cache_arg $ update_arg $ instances_arg 10 $ budget_arg $ alpha_arg
-      $ theta_arg $ strategy_arg $ policy_term)
+      $ theta_arg $ strategy_arg $ policy_term $ lp_warm_arg)
 
 (* ---------------- prove / reverify: persistent proofs ---------------- *)
 
@@ -295,9 +313,9 @@ let nth_instance spec net index =
   | None -> failwith (Printf.sprintf "no instance with index %d" index)
 
 let prove_cmd =
-  let run spec cache index budget_calls policy out =
+  let run spec cache index budget_calls policy lp_warm out =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
-    let setting = setting_for spec budget_calls Frontier.Fifo policy in
+    let setting = setting_for ~lp_warm spec budget_calls Frontier.Fifo policy in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
     let result, seconds =
@@ -319,13 +337,15 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Verify one property and persist its proof tree.")
-    Term.(const run $ model_arg $ cache_arg $ index_arg $ budget_arg $ policy_term $ out_arg)
+    Term.(
+      const run $ model_arg $ cache_arg $ index_arg $ budget_arg $ policy_term $ lp_warm_arg
+      $ out_arg)
 
 let reverify_cmd =
-  let run spec cache update index budget_calls policy proof_path =
+  let run spec cache update index budget_calls policy lp_warm proof_path =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
-    let setting = setting_for spec budget_calls Frontier.Fifo policy in
+    let setting = setting_for ~lp_warm spec budget_calls Frontier.Fifo policy in
     let inst = nth_instance spec net index in
     let prop = inst.Workload.prop in
     let proof = Proof.of_file proof_path in
@@ -356,12 +376,12 @@ let reverify_cmd =
        ~doc:"Incrementally re-verify a property on an updated network from a stored proof.")
     Term.(
       const run $ model_arg $ cache_arg $ update_arg $ index_arg $ budget_arg $ policy_term
-      $ proof_arg)
+      $ lp_warm_arg $ proof_arg)
 
 (* ---------------- diff: differential verification ---------------- *)
 
 let diff_cmd =
-  let run spec cache update index delta budget_calls =
+  let run spec cache update index delta budget_calls lp_warm =
     let net = Zoo.load_or_train ?cache_dir:cache spec in
     let updated = apply_update update net in
     let inst = nth_instance spec net index in
@@ -376,7 +396,7 @@ let diff_cmd =
         in
         Format.printf "zonotope bound: max |output drift| <= %.5f over the region@." worst);
     (* Level 2: complete differential verification. *)
-    let analyzer = Ivan_analyzer.Analyzer.lp_triangle () in
+    let analyzer = Ivan_analyzer.Analyzer.lp_triangle ~warm:lp_warm () in
     let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 60.0 } in
     let proof =
       Ivan_core.Diffverify.verify ~analyzer ~heuristic:Ivan_bab.Heuristic.zono_coeff ~budget net
@@ -399,20 +419,22 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Differentially verify that a quantized variant stays within delta of the original.")
-    Term.(const run $ model_arg $ cache_arg $ update_arg $ index_arg $ delta_arg $ budget_arg)
+    Term.(
+      const run $ model_arg $ cache_arg $ update_arg $ index_arg $ delta_arg $ budget_arg
+      $ lp_warm_arg)
 
 (* ---------------- check: network file + VNN-LIB property ---------------- *)
 
 let check_cmd =
-  let run net_path prop_path budget_calls input_split strategy policy trace_out checkpoint_out
-      checkpoint_every resume =
+  let run net_path prop_path budget_calls input_split strategy policy lp_warm trace_out
+      checkpoint_out checkpoint_every resume =
     if checkpoint_every <= 0 then failwith "--checkpoint-every must be positive";
     let net = Serialize.of_file net_path in
     let prop = Ivan_spec.Vnnlib.parse_file prop_path in
     let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 120.0 } in
     let analyzer, heuristic =
       if input_split then (Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
-      else (Analyzer.lp_triangle (), Ivan_bab.Heuristic.zono_coeff)
+      else (Analyzer.lp_triangle ~warm:lp_warm (), Ivan_bab.Heuristic.zono_coeff)
     in
     with_trace trace_out (fun trace ->
         (* The engine is driven step by step so a checkpoint can be taken
@@ -495,7 +517,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
     Term.(
       const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg $ policy_term
-      $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg $ resume_arg)
+      $ lp_warm_arg $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ---------------- experiment ---------------- *)
 

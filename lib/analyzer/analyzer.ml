@@ -1,9 +1,6 @@
 module Vec = Ivan_tensor.Vec
-module Mat = Ivan_tensor.Mat
 module Lp = Ivan_lp.Lp
 module Network = Ivan_nn.Network
-module Layer = Ivan_nn.Layer
-module Relu_id = Ivan_nn.Relu_id
 module Box = Ivan_spec.Box
 module Prop = Ivan_spec.Prop
 module Splits = Ivan_domains.Splits
@@ -12,6 +9,7 @@ module Itv = Ivan_domains.Itv
 module Interval_dom = Ivan_domains.Interval_dom
 module Zonotope = Ivan_domains.Zonotope
 module Deeppoly = Ivan_domains.Deeppoly
+module Clock = Ivan_clock.Clock
 
 type status = Verified | Counterexample of Vec.t | Unknown
 
@@ -34,9 +32,9 @@ let instrument ~on_run t =
     t with
     run =
       (fun net ~prop ~box ~splits ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.monotonic () in
         let outcome = t.run net ~prop ~box ~splits in
-        on_run ~name:t.name ~elapsed:(Unix.gettimeofday () -. t0) ~outcome;
+        on_run ~name:t.name ~elapsed:(Clock.monotonic () -. t0) ~outcome;
         outcome);
   }
 
@@ -47,6 +45,83 @@ let check_concrete net ~prop x =
 let concrete_status net ~prop candidate =
   let x = Box.clamp prop.Prop.input candidate in
   if check_concrete net ~prop x then Counterexample x else Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start side channel between the BaB engine and the LP-backed
+   analyzers.
+
+   The engine sits above the analyzer abstraction and only sees
+   [outcome]s, while warm-starting needs two extra pieces of plumbing:
+   the parent node's simplex basis flowing IN to the next analyzer call,
+   and the solved node's basis plus solver statistics flowing OUT.
+   Rather than widen every analyzer signature (most analyzers never
+   touch an LP), both travel through a per-domain side channel: the
+   engine {!Warm.offer}s a hint before calling the analyzer and
+   {!Warm.collect}s the report afterwards.  Slots are domain-local
+   ([Domain.DLS]), so parallel runner workers verifying different
+   properties never see each other's bases, and both slots are consumed
+   on read, so a retry of a failed analyzer call runs cold instead of
+   reusing a hint that may have contributed to the failure. *)
+
+module Warm = struct
+  type lp_info = {
+    warm_hits : int;
+    warm_misses : int;
+    cold_solves : int;
+    pivots : int;
+    basis : Lp.Basis.t option;
+  }
+
+  let hint_slot : Lp.Basis.t option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let info_slot : lp_info option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let offer b = Domain.DLS.get hint_slot := Some b
+
+  let clear () =
+    Domain.DLS.get hint_slot := None;
+    Domain.DLS.get info_slot := None
+
+  let take_hint () =
+    let r = Domain.DLS.get hint_slot in
+    let v = !r in
+    r := None;
+    v
+
+  let record i = Domain.DLS.get info_slot := Some i
+
+  let collect () =
+    let r = Domain.DLS.get info_slot in
+    let v = !r in
+    r := None;
+    v
+end
+
+(* Report one LP solve's statistics through the side channel.  Only
+   called after a solve that returned (exceptions leave [last_stats]
+   stale from some earlier solve of the same persistent problem). *)
+let record_lp_info lp ~reusable =
+  match Lp.last_stats lp with
+  | None -> ()
+  | Some s ->
+      let hits, misses, cold =
+        match s.Lp.warm with
+        | Lp.Warm_hit -> (1, 0, 0)
+        | Lp.Warm_miss -> (0, 1, 0)
+        | Lp.Cold -> (0, 0, 1)
+      in
+      Warm.record
+        {
+          Warm.warm_hits = hits;
+          warm_misses = misses;
+          cold_solves = cold;
+          pivots = s.Lp.pivots;
+          (* Only a persistent-encoding basis is offered onward: a
+             one-shot LP's basis fits no other problem. *)
+          basis = (if reusable then Lp.basis lp else None);
+        }
 
 (* ------------------------------------------------------------------ *)
 (* Interval analyzer *)
@@ -100,187 +175,44 @@ let deeppoly_run net ~prop ~box ~splits =
 let deeppoly () = { name = "deeppoly"; run = deeppoly_run }
 
 (* ------------------------------------------------------------------ *)
+(* Persistent-encoding caches.
+
+   One encoding per (network, property) pair, rebuilt only when either
+   changes — detected by physical equality, which is exactly right for
+   the BaB engine (it holds one network and one property for a whole
+   run and calls the analyzer once per node).  Per-domain so parallel
+   runner workers each hold their own. *)
+
+type tri_cache = { t_net : Network.t; t_prop : Prop.t; t_enc : Encoding.Triangle.t option }
+
+let tri_slot : tri_cache option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let triangle_encoding net prop =
+  let slot = Domain.DLS.get tri_slot in
+  match !slot with
+  | Some c when c.t_net == net && c.t_prop == prop -> c.t_enc
+  | _ ->
+      let enc = Encoding.Triangle.build net ~prop in
+      slot := Some { t_net = net; t_prop = prop; t_enc = enc };
+      enc
+
+type milp_cache = { m_net : Network.t; m_prop : Prop.t; m_enc : Encoding.Milp.t option }
+
+let milp_slot : milp_cache option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let milp_encoding net prop =
+  let slot = Domain.DLS.get milp_slot in
+  match !slot with
+  | Some c when c.m_net == net && c.m_prop == prop -> c.m_enc
+  | _ ->
+      let enc = Encoding.Milp.build net ~prop in
+      slot := Some { m_net = net; m_prop = prop; m_enc = enc };
+      enc
+
+(* ------------------------------------------------------------------ *)
 (* LP analyzer with triangle relaxation *)
 
-(* Linear expressions over the LP variables: dense coefficient array
-   plus a constant. *)
-type expr = { coeffs : float array; const : float }
-
-let sparse_terms coeffs =
-  let acc = ref [] in
-  for j = Array.length coeffs - 1 downto 0 do
-    if coeffs.(j) <> 0.0 then acc := (j, coeffs.(j)) :: !acc
-  done;
-  !acc
-
-(* Count the extra LP variables needed: one per ambiguous piecewise
-   unit, and one error variable per smooth unit. *)
-let count_extra_vars net bounds ~splits =
-  let layers = Network.layers net in
-  let total = ref 0 in
-  Array.iteri
-    (fun li layer ->
-      match Layer.classify (Layer.activation layer) with
-      | Layer.Linear_activation -> ()
-      | Layer.Smooth _ -> total := !total + Layer.output_dim layer
-      | Layer.Piecewise _ ->
-          let b = bounds.Bounds.layers.(li) in
-          for idx = 0 to Vec.dim b.Bounds.pre_lo - 1 do
-            let r = Relu_id.make ~layer:li ~index:idx in
-            if
-              b.Bounds.pre_lo.(idx) < 0.0
-              && b.Bounds.pre_hi.(idx) > 0.0
-              && not (Splits.mem r splits)
-            then incr total
-          done)
-    layers;
-  !total
-
-(* Affine image of per-neuron expressions under (w, b).  Hot path:
-   iterate raw weight rows and skip structural zeros (conv-lowered rows
-   are sparse). *)
-let affine_exprs nvars w b exprs =
-  let cols = Mat.cols w in
-  Array.init (Mat.rows w) (fun i ->
-      let row = Mat.row w i in
-      let coeffs = Array.make nvars 0.0 in
-      let const = ref b.(i) in
-      for j = 0 to cols - 1 do
-        let wij = row.(j) in
-        if wij <> 0.0 then begin
-          let e = exprs.(j) in
-          const := !const +. (wij *. e.const);
-          let ec = e.coeffs in
-          for v = 0 to nvars - 1 do
-            let c = ec.(v) in
-            if c <> 0.0 then coeffs.(v) <- coeffs.(v) +. (wij *. c)
-          done
-        end
-      done;
-      { coeffs; const = !const })
-
-(* Dense objective vector and constant for [c . outputs + offset]. *)
-let objective_of nvars exprs ~c ~offset =
-  let obj = Array.make nvars 0.0 in
-  let const = ref offset in
-  Array.iteri
-    (fun i ci ->
-      if ci <> 0.0 then begin
-        let e = exprs.(i) in
-        const := !const +. (ci *. e.const);
-        for v = 0 to nvars - 1 do
-          obj.(v) <- obj.(v) +. (ci *. e.coeffs.(v))
-        done
-      end)
-    c;
-  (obj, !const)
-
-(* Unit-coefficient expressions for the input variables. *)
-let input_exprs nvars d =
-  Array.init d (fun j ->
-      let coeffs = Array.make nvars 0.0 in
-      coeffs.(j) <- 1.0;
-      { coeffs; const = 0.0 })
-
-let build_lp net ~prop ~box ~splits ~bounds =
-  let d = Box.dim box in
-  let nvars = d + count_extra_vars net bounds ~splits in
-  let lp = Lp.create nvars in
-  for j = 0 to d - 1 do
-    Lp.set_bounds lp j (Box.lo_at box j) (Box.hi_at box j)
-  done;
-  let next_var = ref d in
-  let exprs = ref (input_exprs nvars d) in
-  let layers = Network.layers net in
-  Array.iteri
-    (fun li layer ->
-      let w, b = Layer.dense_affine layer in
-      let pre = affine_exprs nvars w b !exprs in
-      let dim = Array.length pre in
-      match Layer.classify (Layer.activation layer) with
-      | Layer.Linear_activation -> exprs := pre
-      | Layer.Smooth { f; df } ->
-          (* post = lambda*pre + e with e a fresh variable bounded by
-             the parallel-line sandwich (no extra rows needed). *)
-          let lb = bounds.Bounds.layers.(li).Bounds.pre_lo in
-          let ub = bounds.Bounds.layers.(li).Bounds.pre_hi in
-          let post =
-            Array.init dim (fun idx ->
-                let e = pre.(idx) in
-                let l = lb.(idx) and u = ub.(idx) in
-                let lambda = Float.min (df l) (df u) in
-                let g_lo = f l -. (lambda *. l) and g_hi = f u -. (lambda *. u) in
-                let v = !next_var in
-                incr next_var;
-                Lp.set_bounds lp v g_lo g_hi;
-                let coeffs = Array.map (fun c -> lambda *. c) e.coeffs in
-                coeffs.(v) <- coeffs.(v) +. 1.0;
-                { coeffs; const = lambda *. e.const })
-          in
-          exprs := post
-      | Layer.Piecewise slope ->
-          let lb = bounds.Bounds.layers.(li).Bounds.pre_lo in
-          let ub = bounds.Bounds.layers.(li).Bounds.pre_hi in
-          let scale_expr s e =
-            { coeffs = Array.map (fun c -> s *. c) e.coeffs; const = s *. e.const }
-          in
-          let post =
-            Array.init dim (fun idx ->
-                let e = pre.(idx) in
-                let phase = Splits.find (Relu_id.make ~layer:li ~index:idx) splits in
-                match phase with
-                | Some Splits.Pos ->
-                    (* assume pre >= 0: -(pre) <= 0; the unit is exactly
-                       the identity on this side. *)
-                    Lp.add_constraint lp
-                      (sparse_terms (Array.map (fun v -> -.v) e.coeffs))
-                      Lp.Le e.const;
-                    e
-                | Some Splits.Neg ->
-                    (* assume pre <= 0; the unit is exactly y = slope*x
-                       (the zero function for ReLU). *)
-                    Lp.add_constraint lp (sparse_terms e.coeffs) Lp.Le (-.e.const);
-                    scale_expr slope e
-                | None ->
-                    if lb.(idx) >= 0.0 then e
-                    else if ub.(idx) <= 0.0 then scale_expr slope e
-                    else begin
-                      (* Triangle relaxation with a fresh variable v:
-                         v >= pre, v >= slope*pre, and v below the chord
-                         through (l, slope*l) and (u, u). *)
-                      let v = !next_var in
-                      incr next_var;
-                      let l = lb.(idx) and u = ub.(idx) in
-                      Lp.set_bounds lp v (slope *. l) u;
-                      (* v >= pre:  pre - v <= 0 *)
-                      Lp.add_constraint lp ((v, -1.0) :: sparse_terms e.coeffs) Lp.Le (-.e.const);
-                      (* v >= slope*pre (vacuous for ReLU: covered by
-                         the variable's lower bound of 0). *)
-                      if slope > 0.0 then
-                        Lp.add_constraint lp
-                          ((v, -1.0) :: sparse_terms (Array.map (fun c -> slope *. c) e.coeffs))
-                          Lp.Le (-.slope *. e.const);
-                      (* chord: v <= lambda*pre + mu, with
-                         lambda = (u - slope*l)/(u - l) and
-                         mu = l*(slope - lambda). *)
-                      let lambda = (u -. (slope *. l)) /. (u -. l) in
-                      let mu = l *. (slope -. lambda) in
-                      let chord = Array.map (fun cv -> -.lambda *. cv) e.coeffs in
-                      Lp.add_constraint lp
-                        ((v, 1.0) :: sparse_terms chord)
-                        Lp.Le (mu +. (lambda *. e.const));
-                      let coeffs = Array.make nvars 0.0 in
-                      coeffs.(v) <- 1.0;
-                      { coeffs; const = 0.0 }
-                    end)
-          in
-          exprs := post)
-    layers;
-  let obj, const = objective_of nvars !exprs ~c:prop.Prop.c ~offset:prop.Prop.offset in
-  Lp.set_objective lp obj;
-  (lp, const)
-
-let lp_triangle_run ~deeppoly_shortcut net ~prop ~box ~splits =
+let lp_triangle_run ~deeppoly_shortcut ~warm net ~prop ~box ~splits =
   match Deeppoly.analyze net ~box ~splits with
   | Deeppoly.Infeasible -> vacuous
   | Deeppoly.Feasible dp -> (
@@ -301,107 +233,63 @@ let lp_triangle_run ~deeppoly_shortcut net ~prop ~box ~splits =
       if deeppoly_shortcut && cheap_lb >= 0.0 then
         { status = Verified; lb = cheap_lb; bounds = Some bounds; zono }
       else
-        let lp, const = build_lp net ~prop ~box ~splits ~bounds in
-        match Lp.solve lp with
-        | exception (Lp.Iteration_limit | Lp.Numerical_failure _) ->
+        (* Specialize the persistent per-property encoding to this node;
+           fall back to a fresh one-shot LP when the node is outside the
+           encoding's shape (e.g. a split on a root-stable unit when
+           replaying a specification tree against an updated network). *)
+        let lp, const, reusable =
+          match triangle_encoding net prop with
+          | Some enc -> (
+              try
+                Encoding.Triangle.specialize enc ~box ~splits ~bounds;
+                (Encoding.Triangle.lp enc, Encoding.Triangle.const enc, true)
+              with Encoding.Mismatch ->
+                let lp, const = Encoding.build_lp net ~prop ~box ~splits ~bounds in
+                (lp, const, false))
+          | None ->
+              let lp, const = Encoding.build_lp net ~prop ~box ~splits ~bounds in
+              (lp, const, false)
+        in
+        let hint = Warm.take_hint () in
+        let solved =
+          try
+            `Result
+              (match hint with
+              | Some b when warm && reusable -> Lp.solve_from lp b
+              | _ -> Lp.solve lp)
+          with Lp.Iteration_limit | Lp.Numerical_failure _ -> `Solver_failed
+        in
+        match solved with
+        | `Solver_failed ->
             (* Numerical failure: fall back on the sound cheap bound. *)
             if cheap_lb >= 0.0 then { status = Verified; lb = cheap_lb; bounds = Some bounds; zono }
             else { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
-        | Lp.Infeasible ->
-            (* The relaxation is a superset of the true region, so an
-               infeasible relaxation proves the region empty. *)
-            { vacuous with bounds = Some bounds; zono }
-        | Lp.Unbounded ->
-            (* Cannot happen with a bounded input box, but stay sound. *)
-            { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
-        | Lp.Optimal { objective; primal } ->
-            let lb = Float.max (objective +. const) cheap_lb in
-            if lb >= 0.0 then { status = Verified; lb; bounds = Some bounds; zono }
-            else
-              let candidate = Array.sub primal 0 (Box.dim box) in
-              let status = concrete_status net ~prop candidate in
-              { status; lb; bounds = Some bounds; zono })
+        | `Result r -> (
+            record_lp_info lp ~reusable;
+            match r with
+            | Lp.Infeasible ->
+                (* The relaxation is a superset of the true region, so an
+                   infeasible relaxation proves the region empty. *)
+                { vacuous with bounds = Some bounds; zono }
+            | Lp.Unbounded ->
+                (* Cannot happen with a bounded input box, but stay sound. *)
+                { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
+            | Lp.Optimal { objective; primal } ->
+                let lb = Float.max (objective +. const) cheap_lb in
+                if lb >= 0.0 then { status = Verified; lb; bounds = Some bounds; zono }
+                else
+                  let candidate = Array.sub primal 0 (Box.dim box) in
+                  let status = concrete_status net ~prop candidate in
+                  { status; lb; bounds = Some bounds; zono }))
 
-let lp_triangle ?(deeppoly_shortcut = true) () =
-  { name = "lp-triangle"; run = lp_triangle_run ~deeppoly_shortcut }
+let lp_triangle ?(deeppoly_shortcut = true) ?(warm = true) () =
+  { name = "lp-triangle"; run = lp_triangle_run ~deeppoly_shortcut ~warm }
 
 (* ------------------------------------------------------------------ *)
 (* Exact MILP analyzer: big-M indicator encoding of every ambiguous
    ReLU, solved by branch and bound over the phase binaries.  One call
    decides the subproblem exactly (the "one-shot complete verifier"
    style the paper compares against in its §7 MILP discussion). *)
-
-let build_milp net ~prop ~box ~splits ~bounds =
-  let d = Box.dim box in
-  let ambiguous = count_extra_vars net bounds ~splits in
-  (* Inputs, then (v, z) pairs per ambiguous ReLU. *)
-  let nvars = d + (2 * ambiguous) in
-  let lp = Lp.create nvars in
-  for j = 0 to d - 1 do
-    Lp.set_bounds lp j (Box.lo_at box j) (Box.hi_at box j)
-  done;
-  let next_var = ref d in
-  let binaries = ref [] in
-  let exprs = ref (input_exprs nvars d) in
-  let layers = Network.layers net in
-  Array.iteri
-    (fun li layer ->
-      let w, b = Layer.dense_affine layer in
-      let pre = affine_exprs nvars w b !exprs in
-      let dim = Array.length pre in
-      match Layer.classify (Layer.activation layer) with
-      | Layer.Linear_activation -> exprs := pre
-      | Layer.Smooth _ -> invalid_arg "Analyzer.milp: only plain ReLU networks are supported"
-      | Layer.Piecewise slope ->
-          if slope <> 0.0 then
-            invalid_arg "Analyzer.milp: only plain ReLU networks are supported";
-          let lb = bounds.Bounds.layers.(li).Bounds.pre_lo in
-          let ub = bounds.Bounds.layers.(li).Bounds.pre_hi in
-          let zero_expr = { coeffs = Array.make nvars 0.0; const = 0.0 } in
-          let post =
-            Array.init dim (fun idx ->
-                let e = pre.(idx) in
-                let phase = Splits.find (Relu_id.make ~layer:li ~index:idx) splits in
-                match phase with
-                | Some Splits.Pos ->
-                    Lp.add_constraint lp
-                      (sparse_terms (Array.map (fun v -> -.v) e.coeffs))
-                      Lp.Le e.const;
-                    e
-                | Some Splits.Neg ->
-                    Lp.add_constraint lp (sparse_terms e.coeffs) Lp.Le (-.e.const);
-                    zero_expr
-                | None ->
-                    if lb.(idx) >= 0.0 then e
-                    else if ub.(idx) <= 0.0 then zero_expr
-                    else begin
-                      (* v = relu(pre) with indicator z:
-                         v >= 0, v >= pre, v <= pre - l(1-z), v <= u z. *)
-                      let v = !next_var in
-                      let z = !next_var + 1 in
-                      next_var := !next_var + 2;
-                      binaries := z :: !binaries;
-                      let l = lb.(idx) and u = ub.(idx) in
-                      Lp.set_bounds lp v 0.0 u;
-                      Lp.set_bounds lp z 0.0 1.0;
-                      (* pre - v <= 0 *)
-                      Lp.add_constraint lp ((v, -1.0) :: sparse_terms e.coeffs) Lp.Le (-.e.const);
-                      (* v - pre - l z <= -l *)
-                      Lp.add_constraint lp
-                        ((v, 1.0) :: (z, -.l) :: sparse_terms (Array.map (fun c -> -.c) e.coeffs))
-                        Lp.Le (-.l +. e.const);
-                      (* v - u z <= 0 *)
-                      Lp.add_constraint lp [ (v, 1.0); (z, -.u) ] Lp.Le 0.0;
-                      let coeffs = Array.make nvars 0.0 in
-                      coeffs.(v) <- 1.0;
-                      { coeffs; const = 0.0 }
-                    end)
-          in
-          exprs := post)
-    layers;
-  let obj, const = objective_of nvars !exprs ~c:prop.Prop.c ~offset:prop.Prop.offset in
-  Lp.set_objective lp obj;
-  (lp, const, List.rev !binaries)
 
 type milp_outcome = {
   milp_status : status;
@@ -411,24 +299,43 @@ type milp_outcome = {
   witness : Vec.t option;
 }
 
-let milp_verify ?(max_nodes = 100_000) ?incumbent net ~prop ~box ~splits =
+let milp_verify ?(max_nodes = 100_000) ?incumbent ?(warm = true) net ~prop ~box ~splits =
   match Deeppoly.analyze net ~box ~splits with
   | Deeppoly.Infeasible ->
       { milp_status = Verified; milp_lb = infinity; nodes = 0; lp_solves = 0; witness = None }
   | Deeppoly.Feasible dp -> (
       let bounds = Deeppoly.bounds dp in
-      let lp, const, binaries = build_milp net ~prop ~box ~splits ~bounds in
+      let lp, const, binaries =
+        match milp_encoding net prop with
+        | Some enc -> (
+            try
+              Encoding.Milp.specialize enc ~box ~splits ~bounds;
+              (Encoding.Milp.lp enc, Encoding.Milp.const enc, Encoding.Milp.binaries enc)
+            with Encoding.Mismatch -> Encoding.build_milp net ~prop ~box ~splits ~bounds)
+        | None -> Encoding.build_milp net ~prop ~box ~splits ~bounds
+      in
       (* Verification cutoff: branches that cannot push the objective
          below 0 cannot yield a counterexample, so the search always
          prunes at 0; a caller-supplied incumbent can only tighten the
          cutoff further (this is what "warm starting" amounts to). *)
       let cutoff = match incumbent with None -> 0.0 | Some v -> Float.min 0.0 v in
-      match Ivan_lp.Milp.solve ~max_nodes ~incumbent:(cutoff -. const) lp ~integer:binaries with
+      let report (stats : Ivan_lp.Milp.stats) =
+        Warm.record
+          {
+            Warm.warm_hits = stats.Ivan_lp.Milp.warm_hits;
+            warm_misses = 0;
+            cold_solves = stats.Ivan_lp.Milp.lp_solves - stats.Ivan_lp.Milp.warm_hits;
+            pivots = stats.Ivan_lp.Milp.simplex_pivots;
+            basis = None;
+          }
+      in
+      match Ivan_lp.Milp.solve ~max_nodes ~incumbent:(cutoff -. const) ~warm lp ~integer:binaries with
       | Ivan_lp.Milp.Infeasible stats ->
           (* Either the region is empty or nothing goes below the
              cutoff.  With the default cutoff 0 that proves the
              property; with a negative warm cutoff it only bounds the
              minimum from below. *)
+          report stats;
           {
             milp_status = (if cutoff >= 0.0 then Verified else Unknown);
             milp_lb = cutoff;
@@ -439,6 +346,7 @@ let milp_verify ?(max_nodes = 100_000) ?incumbent net ~prop ~box ~splits =
       | Ivan_lp.Milp.Node_limit stats | Ivan_lp.Milp.Solver_failure stats ->
           (* Capped or numerically failed search: inconclusive either
              way, never a fabricated answer. *)
+          report stats;
           {
             milp_status = Unknown;
             milp_lb = neg_infinity;
@@ -447,6 +355,7 @@ let milp_verify ?(max_nodes = 100_000) ?incumbent net ~prop ~box ~splits =
             witness = None;
           }
       | Ivan_lp.Milp.Optimal { objective; primal; stats } ->
+          report stats;
           let lb = objective +. const in
           let witness = Array.sub primal 0 (Box.dim box) in
           let status =
@@ -464,9 +373,9 @@ let milp_verify ?(max_nodes = 100_000) ?incumbent net ~prop ~box ~splits =
             witness = Some witness;
           })
 
-let milp_exact ?(max_nodes = 100_000) () =
+let milp_exact ?(max_nodes = 100_000) ?(warm = true) () =
   let run net ~prop ~box ~splits =
-    let o = milp_verify ~max_nodes net ~prop ~box ~splits in
+    let o = milp_verify ~max_nodes ~warm net ~prop ~box ~splits in
     { status = o.milp_status; lb = o.milp_lb; bounds = None; zono = None }
   in
   { name = "milp-exact"; run }
@@ -513,11 +422,13 @@ let with_fallback ?chain ?(notify = fun (_ : fallback_event) -> ()) ~policy prim
         else []
   in
   let run net ~prop ~box ~splits =
+    (* Monotonic deadline: a wall-clock step (NTP) must not extend or
+       shrink a node budget. *)
     let deadline =
-      if policy.node_timeout < infinity then Unix.gettimeofday () +. policy.node_timeout
+      if policy.node_timeout < infinity then Clock.monotonic () +. policy.node_timeout
       else infinity
     in
-    let timed_out () = deadline < infinity && Unix.gettimeofday () >= deadline in
+    let timed_out () = deadline < infinity && Clock.monotonic () >= deadline in
     (* Try one analyzer with up to [max_retries] re-attempts.  The
        timeout is cooperative: analyzers are not preempted mid-call, but
        no further attempt starts past the deadline. *)

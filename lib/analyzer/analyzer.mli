@@ -48,11 +48,51 @@ val instrument :
     attribute time to the analyzer boundary; it composes (instrumenting
     twice fires both hooks). *)
 
-val lp_triangle : ?deeppoly_shortcut:bool -> unit -> t
+val lp_triangle : ?deeppoly_shortcut:bool -> ?warm:bool -> unit -> t
 (** The LP analyzer.  When [deeppoly_shortcut] is true (default), a
     subproblem already proved by the DeepPoly pass skips the LP solve;
     the returned [lb] is then DeepPoly's.  Each [run] also performs a
-    zonotope pass so branching heuristics can score ReLUs. *)
+    zonotope pass so branching heuristics can score ReLUs.
+
+    Node LPs come from a persistent per-(network, property) encoding
+    ({!Encoding.Triangle}) specialized in place per subproblem, and when
+    [warm] is true (default) a parent basis offered through {!Warm} is
+    used to warm-start the simplex ({!Ivan_lp.Lp.solve_from}).  [warm]
+    only toggles the solver entry point — warm and cold runs share the
+    identical specialized LP, so verdicts and bounds are unchanged. *)
+
+(** {2 Warm-start side channel}
+
+    The BaB engine offers a parent node's simplex basis before an
+    analyzer call and collects the solve report afterwards.  Both slots
+    are domain-local and consumed on read: parallel runner workers never
+    observe each other's bases, and an analyzer retry (under
+    {!with_fallback}) runs cold rather than re-using a hint that may
+    have contributed to the failure.  Analyzers without an LP back-end
+    simply never touch the channel. *)
+module Warm : sig
+  type lp_info = {
+    warm_hits : int;  (** solves warm-started successfully *)
+    warm_misses : int;  (** {!Ivan_lp.Lp.solve_from} fell back to cold *)
+    cold_solves : int;  (** solves that never attempted a warm start *)
+    pivots : int;  (** total simplex pivots across the call's solves *)
+    basis : Ivan_lp.Lp.Basis.t option;
+        (** basis to offer to child nodes; [None] when the solve used a
+            one-shot (non-reusable) encoding or did not end [Optimal] *)
+  }
+
+  val offer : Ivan_lp.Lp.Basis.t -> unit
+  (** Stage a parent basis for the next LP-backed analyzer call on this
+      domain. *)
+
+  val clear : unit -> unit
+  (** Drop any staged hint and pending report (call before analyzing a
+      node with no usable parent basis). *)
+
+  val collect : unit -> lp_info option
+  (** The report of the most recent LP-backed analyzer call, if any;
+      consumes the slot. *)
+end
 
 val zonotope : unit -> t
 
@@ -91,6 +131,7 @@ type milp_outcome = {
 val milp_verify :
   ?max_nodes:int ->
   ?incumbent:float ->
+  ?warm:bool ->
   Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   box:Ivan_spec.Box.t ->
@@ -102,9 +143,12 @@ val milp_verify :
     evaluated on this network — tightens the cutoff further when
     negative; this is MILP warm starting, and exactly as the paper's §7
     observes, it cannot help on instances that end up verified.
+    [warm] (default true) warm-starts each MILP node's LP relaxation
+    from its parent's simplex basis; verdict and optimum are unchanged,
+    only the pivot count drops.
     @raise Invalid_argument on leaky-ReLU networks. *)
 
-val milp_exact : ?max_nodes:int -> unit -> t
+val milp_exact : ?max_nodes:int -> ?warm:bool -> unit -> t
 (** {!milp_verify} wrapped as an analyzer: complete in one call. *)
 
 (** {2 Resilience}

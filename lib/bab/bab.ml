@@ -19,6 +19,10 @@ type stats = Engine.stats = {
   retries : int;
   fallback_bounds : int;
   faults_absorbed : int;
+  lp_warm_hits : int;
+  lp_warm_misses : int;
+  lp_cold_solves : int;
+  lp_pivots : int;
 }
 
 type verdict = Engine.verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted

@@ -38,6 +38,10 @@ type stats = Engine.stats = {
       (** nodes whose accepted bound came from a degraded analyzer *)
   faults_absorbed : int;
       (** analyzer failures swallowed instead of crashing the run *)
+  lp_warm_hits : int;  (** node LPs warm-started from the parent basis *)
+  lp_warm_misses : int;  (** warm attempts that fell back to cold *)
+  lp_cold_solves : int;  (** node LPs solved without a warm attempt *)
+  lp_pivots : int;  (** total simplex pivots across node LP solves *)
 }
 
 type verdict = Engine.verdict =

@@ -3,6 +3,8 @@ module Box = Ivan_spec.Box
 module Prop = Ivan_spec.Prop
 module Analyzer = Ivan_analyzer.Analyzer
 module Tree = Ivan_spectree.Tree
+module Lp = Ivan_lp.Lp
+module Clock = Ivan_clock.Clock
 
 type budget = { max_analyzer_calls : int; max_seconds : float }
 
@@ -21,6 +23,10 @@ type stats = {
   retries : int;
   fallback_bounds : int;
   faults_absorbed : int;
+  lp_warm_hits : int;
+  lp_warm_misses : int;
+  lp_cold_solves : int;
+  lp_pivots : int;
 }
 
 type verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
@@ -46,6 +52,11 @@ type t = {
   retries : int ref;
   fallback_bounds : int ref;
   faults_absorbed : int ref;
+  (* Warm-start plumbing: frontier nodes whose parent solved an LP have
+     the parent's optimal basis parked here until they are dequeued.
+     The table is engine-local bookkeeping, not verification state — a
+     restored checkpoint simply starts its nodes cold. *)
+  bases : (int, Lp.Basis.t) Hashtbl.t;
   mutable steps : int;
   mutable calls : int;
   mutable branchings : int;
@@ -53,6 +64,10 @@ type t = {
   mutable max_frontier : int;
   mutable max_depth : int;
   mutable heuristic_failures : int;
+  mutable lp_warm_hits : int;
+  mutable lp_warm_misses : int;
+  mutable lp_cold_solves : int;
+  mutable lp_pivots : int;
   mutable finished : run option;
 }
 
@@ -73,7 +88,7 @@ let status_label = function
 let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
     ~started ~steps ~calls ~branchings ~analyzer_seconds ~max_frontier ~max_depth
     ~heuristic_failures ~retries:retries0 ~fallback_bounds:fallback_bounds0
-    ~faults_absorbed:faults_absorbed0 () =
+    ~faults_absorbed:faults_absorbed0 ~lp_warm_hits ~lp_warm_misses ~lp_cold_solves ~lp_pivots () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Engine.create: property dimension does not match the network";
   if check_time_every <= 0 then invalid_arg "Engine.create: check_time_every must be positive";
@@ -120,6 +135,7 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     retries;
     fallback_bounds;
     faults_absorbed;
+    bases = Hashtbl.create 64;
     steps;
     calls;
     branchings;
@@ -127,6 +143,10 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     max_frontier;
     max_depth;
     heuristic_failures;
+    lp_warm_hits;
+    lp_warm_misses;
+    lp_cold_solves;
+    lp_pivots;
     finished = None;
   }
 
@@ -135,9 +155,9 @@ let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null
   let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
   let t =
     make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
-      ~started:(Unix.gettimeofday ()) ~steps:0 ~calls:0 ~branchings:0 ~analyzer_seconds:0.0
+      ~started:(Clock.monotonic ()) ~steps:0 ~calls:0 ~branchings:0 ~analyzer_seconds:0.0
       ~max_frontier:0 ~max_depth:0 ~heuristic_failures:0 ~retries:0 ~fallback_bounds:0
-      ~faults_absorbed:0 ()
+      ~faults_absorbed:0 ~lp_warm_hits:0 ~lp_warm_misses:0 ~lp_cold_solves:0 ~lp_pivots:0 ()
   in
   List.iter (fun n -> Frontier.push t.frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
   t
@@ -164,10 +184,14 @@ let stats_of t ~elapsed =
     retries = !(t.retries);
     fallback_bounds = !(t.fallback_bounds);
     faults_absorbed = !(t.faults_absorbed);
+    lp_warm_hits = t.lp_warm_hits;
+    lp_warm_misses = t.lp_warm_misses;
+    lp_cold_solves = t.lp_cold_solves;
+    lp_pivots = t.lp_pivots;
   }
 
 let finish t verdict =
-  let elapsed = Unix.gettimeofday () -. t.started in
+  let elapsed = Clock.monotonic () -. t.started in
   let run = { verdict; tree = t.tree; stats = stats_of t ~elapsed } in
   Trace.emit t.trace
     (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
@@ -182,7 +206,7 @@ let finish t verdict =
 let out_of_time t =
   t.budget.max_seconds < infinity
   && t.steps mod t.check_time_every = 0
-  && Unix.gettimeofday () -. t.started >= t.budget.max_seconds
+  && Clock.monotonic () -. t.started >= t.budget.max_seconds
 
 type status = Running | Finished of run
 
@@ -205,6 +229,14 @@ let step t =
         let box, splits = Tree.subproblem ~root_box:t.prop.Prop.input node in
         t.calls <- t.calls + 1;
         t.current_node := id;
+        (* Stage the parent's simplex basis (if the parent solved an LP)
+           for the analyzer's warm start; otherwise make sure no stale
+           hint from an earlier node is lying around. *)
+        (match Hashtbl.find_opt t.bases id with
+        | Some b ->
+            Hashtbl.remove t.bases id;
+            Analyzer.Warm.offer b
+        | None -> Analyzer.Warm.clear ());
         let outcome =
           (* Last line of defense: even without a resilience policy, a
              non-fatal analyzer exception degrades this node to Unknown
@@ -218,6 +250,28 @@ let step t =
             { Analyzer.status = Analyzer.Unknown; lb = neg_infinity; bounds = None; zono = None }
         in
         t.analyzer_seconds <- t.analyzer_seconds +. !(t.last_call);
+        (* Collect the LP report, if the analyzer solved any: counters
+           for the run's stats, and the node's optimal basis to hand to
+           its children (below, if it splits). *)
+        let solved_basis =
+          match Analyzer.Warm.collect () with
+          | None -> None
+          | Some info ->
+              t.lp_warm_hits <- t.lp_warm_hits + info.Analyzer.Warm.warm_hits;
+              t.lp_warm_misses <- t.lp_warm_misses + info.Analyzer.Warm.warm_misses;
+              t.lp_cold_solves <- t.lp_cold_solves + info.Analyzer.Warm.cold_solves;
+              t.lp_pivots <- t.lp_pivots + info.Analyzer.Warm.pivots;
+              Trace.emit t.trace
+                (Trace.Lp_solved
+                   {
+                     node = id;
+                     warm_hits = info.Analyzer.Warm.warm_hits;
+                     warm_misses = info.Analyzer.Warm.warm_misses;
+                     cold_solves = info.Analyzer.Warm.cold_solves;
+                     pivots = info.Analyzer.Warm.pivots;
+                   });
+              info.Analyzer.Warm.basis
+        in
         Trace.emit t.trace
           (Trace.Analyzed
              {
@@ -253,7 +307,13 @@ let step t =
                        right = Tree.node_id right;
                      });
                 (* Children inherit the parent's freshly computed bound
-                   as their best-first priority until analyzed. *)
+                   as their best-first priority until analyzed, and the
+                   parent's simplex basis as their warm start. *)
+                (match solved_basis with
+                | None -> ()
+                | Some b ->
+                    Hashtbl.replace t.bases (Tree.node_id left) b;
+                    Hashtbl.replace t.bases (Tree.node_id right) b);
                 Frontier.push t.frontier ~priority:outcome.Analyzer.lb left;
                 Frontier.push t.frontier ~priority:outcome.Analyzer.lb right;
                 Running)
@@ -294,9 +354,9 @@ let checkpoint t =
   let elapsed =
     match t.finished with
     | Some r -> r.stats.elapsed_seconds
-    | None -> Unix.gettimeofday () -. t.started
+    | None -> Clock.monotonic () -. t.started
   in
-  add "ivan-checkpoint 1";
+  add "ivan-checkpoint 2";
   add "strategy: %s" (Frontier.strategy_name (Frontier.strategy t.frontier));
   add "max_calls: %d" t.budget.max_analyzer_calls;
   add "max_seconds: %s" (float_token t.budget.max_seconds);
@@ -311,6 +371,10 @@ let checkpoint t =
   add "retries: %d" !(t.retries);
   add "fallback_bounds: %d" !(t.fallback_bounds);
   add "faults_absorbed: %d" !(t.faults_absorbed);
+  add "lp_warm_hits: %d" t.lp_warm_hits;
+  add "lp_warm_misses: %d" t.lp_warm_misses;
+  add "lp_cold_solves: %d" t.lp_cold_solves;
+  add "lp_pivots: %d" t.lp_pivots;
   add "elapsed: %s" (float_token elapsed);
   add "finished: %s"
     (match t.finished with None -> "running" | Some r -> verdict_to_tokens r.verdict);
@@ -354,7 +418,23 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
       String.trim (String.sub line pl (String.length line - pl))
     else fail "expected %S, got %S" prefix line
   in
-  match String.split_on_char '\n' header with
+  let lines = String.split_on_char '\n' header in
+  (* Version 1 checkpoints predate the warm-start counters; splice in
+     zero-valued lines so both versions parse through one path. *)
+  let lines =
+    match lines with
+    | "ivan-checkpoint 1" :: rest ->
+        let rec widen = function
+          | [] -> fail "truncated version-1 header"
+          | l :: rest when String.length l >= 8 && String.sub l 0 8 = "elapsed:" ->
+              "lp_warm_hits: 0" :: "lp_warm_misses: 0" :: "lp_cold_solves: 0" :: "lp_pivots: 0"
+              :: l :: rest
+          | l :: rest -> l :: widen rest
+        in
+        "ivan-checkpoint 2" :: widen rest
+    | _ -> lines
+  in
+  match lines with
   | [
    version;
    strategy_l;
@@ -371,11 +451,15 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
    retries_l;
    fallback_bounds_l;
    faults_absorbed_l;
+   lp_warm_hits_l;
+   lp_warm_misses_l;
+   lp_cold_solves_l;
+   lp_pivots_l;
    elapsed_l;
    finished_l;
    frontier_l;
   ] ->
-      if version <> "ivan-checkpoint 1" then fail "unsupported header %S" version;
+      if version <> "ivan-checkpoint 2" then fail "unsupported header %S" version;
       let strategy =
         let s = field "strategy:" strategy_l in
         match Frontier.strategy_of_string s with
@@ -398,7 +482,7 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
         make ~analyzer ~heuristic ~strategy ~trace ~budget
           ~check_time_every:(int_of_string (field "check_time_every:" check_every_l))
           ~policy ~tree ~net ~prop
-          ~started:(Unix.gettimeofday () -. elapsed)
+          ~started:(Clock.monotonic () -. elapsed)
           ~steps:(int_of_string (field "steps:" steps_l))
           ~calls:(int_of_string (field "calls:" calls_l))
           ~branchings:(int_of_string (field "branchings:" branchings_l))
@@ -409,6 +493,10 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
           ~retries:(int_of_string (field "retries:" retries_l))
           ~fallback_bounds:(int_of_string (field "fallback_bounds:" fallback_bounds_l))
           ~faults_absorbed:(int_of_string (field "faults_absorbed:" faults_absorbed_l))
+          ~lp_warm_hits:(int_of_string (field "lp_warm_hits:" lp_warm_hits_l))
+          ~lp_warm_misses:(int_of_string (field "lp_warm_misses:" lp_warm_misses_l))
+          ~lp_cold_solves:(int_of_string (field "lp_cold_solves:" lp_cold_solves_l))
+          ~lp_pivots:(int_of_string (field "lp_pivots:" lp_pivots_l))
           ()
       in
       let nodes = Hashtbl.create 64 in

@@ -44,6 +44,15 @@ type stats = {
   faults_absorbed : int;
       (** analyzer failures (exceptions or untrustworthy outcomes)
           swallowed instead of crashing the run *)
+  lp_warm_hits : int;
+      (** node LP solves that warm-started from the parent's simplex
+          basis ({!Ivan_lp.Lp.solve_from} succeeded) *)
+  lp_warm_misses : int;
+      (** warm-start attempts that fell back to an internal cold solve *)
+  lp_cold_solves : int;
+      (** node LP solves that never attempted a warm start (root node,
+          restored checkpoints, non-reusable encodings, [--no-lp-warm]) *)
+  lp_pivots : int;  (** total simplex pivots across all node LP solves *)
 }
 
 type verdict =
@@ -118,7 +127,14 @@ val finished : t -> run option
     property, trace sink and resilience policy are code rather than
     state and are supplied again at {!restore} time; the restored engine
     continues exactly where the checkpoint was taken (the elapsed-time
-    clock resumes from the recorded value). *)
+    clock resumes from the recorded value).
+
+    Parked warm-start bases are deliberately {e not} serialized — they
+    are a performance cache, not verification state — so the first LP
+    solve of each restored frontier node runs cold and the search
+    proceeds identically otherwise.  Version-1 checkpoints (written
+    before the warm-start counters existed) restore with those counters
+    zeroed. *)
 
 val checkpoint : t -> string
 (** Serialize the engine's current state.  Safe at any point, including

@@ -5,6 +5,7 @@ module Decision = Ivan_spectree.Decision
 type event =
   | Dequeued of { node : int; depth : int; frontier : int }
   | Analyzed of { node : int; status : string; lb : float; seconds : float }
+  | Lp_solved of { node : int; warm_hits : int; warm_misses : int; cold_solves : int; pivots : int }
   | Split of { node : int; decision : Decision.t; left : int; right : int }
   | Pruned of { node : int }
   | Stuck of { node : int }
@@ -63,6 +64,10 @@ let event_to_json = function
   | Analyzed { node; status; lb; seconds } ->
       Printf.sprintf {|{"ev":"analyzed","node":%d,"status":%S,"lb":%s,"seconds":%s}|} node status
         (float_token lb) (float_token seconds)
+  | Lp_solved { node; warm_hits; warm_misses; cold_solves; pivots } ->
+      Printf.sprintf
+        {|{"ev":"lp","node":%d,"warm_hits":%d,"warm_misses":%d,"cold_solves":%d,"pivots":%d}|} node
+        warm_hits warm_misses cold_solves pivots
   | Split { node; decision; left; right } ->
       Printf.sprintf {|{"ev":"split","node":%d,"decision":%S,"left":%d,"right":%d}|} node
         (Decision.to_string decision) left right
@@ -163,6 +168,15 @@ let event_of_json line =
   | "dequeued" -> Dequeued { node = int "node"; depth = int "depth"; frontier = int "frontier" }
   | "analyzed" ->
       Analyzed { node = int "node"; status = str "status"; lb = float "lb"; seconds = float "seconds" }
+  | "lp" ->
+      Lp_solved
+        {
+          node = int "node";
+          warm_hits = int "warm_hits";
+          warm_misses = int "warm_misses";
+          cold_solves = int "cold_solves";
+          pivots = int "pivots";
+        }
   | "split" ->
       Split
         {
@@ -227,6 +241,10 @@ type aggregate = {
   absorbed : int;
   max_frontier : int;
   max_depth : int;
+  lp_warm_hits : int;
+  lp_warm_misses : int;
+  lp_cold_solves : int;
+  lp_pivots : int;
   verdict : string option;
 }
 
@@ -243,6 +261,10 @@ let empty_aggregate =
     absorbed = 0;
     max_frontier = 0;
     max_depth = 0;
+    lp_warm_hits = 0;
+    lp_warm_misses = 0;
+    lp_cold_solves = 0;
+    lp_pivots = 0;
     verdict = None;
   }
 
@@ -263,6 +285,14 @@ let aggregate events =
             analyzer_calls = acc.analyzer_calls + 1;
             analyzer_seconds = acc.analyzer_seconds +. seconds;
           }
+      | Lp_solved { warm_hits; warm_misses; cold_solves; pivots; _ } ->
+          {
+            acc with
+            lp_warm_hits = acc.lp_warm_hits + warm_hits;
+            lp_warm_misses = acc.lp_warm_misses + warm_misses;
+            lp_cold_solves = acc.lp_cold_solves + cold_solves;
+            lp_pivots = acc.lp_pivots + pivots;
+          }
       | Split _ -> { acc with branchings = acc.branchings + 1 }
       | Pruned _ -> { acc with pruned = acc.pruned + 1 }
       | Stuck _ -> { acc with stuck = acc.stuck + 1 }
@@ -280,4 +310,7 @@ let pp_aggregate fmt a =
   if a.retries > 0 then Format.fprintf fmt ", %d retries" a.retries;
   if a.fallbacks > 0 then Format.fprintf fmt ", %d fallback bounds" a.fallbacks;
   if a.absorbed > 0 then Format.fprintf fmt ", %d faults absorbed" a.absorbed;
+  if a.lp_warm_hits + a.lp_warm_misses + a.lp_cold_solves > 0 then
+    Format.fprintf fmt ", LP %d warm / %d miss / %d cold (%d pivots)" a.lp_warm_hits a.lp_warm_misses
+      a.lp_cold_solves a.lp_pivots;
   match a.verdict with None -> () | Some v -> Format.fprintf fmt ", verdict %s" v

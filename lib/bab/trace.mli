@@ -16,6 +16,10 @@ type event =
   | Analyzed of { node : int; status : string; lb : float; seconds : float }
       (** an analyzer call bounded the node's subproblem ([status] is
           [verified], [counterexample] or [unknown]) *)
+  | Lp_solved of { node : int; warm_hits : int; warm_misses : int; cold_solves : int; pivots : int }
+      (** the analyzer call solved LPs: how many warm-started from a
+          parent basis, how many warm attempts fell back to cold, how
+          many never attempted one, and the total simplex pivots *)
   | Split of { node : int; decision : Ivan_spectree.Decision.t; left : int; right : int }
       (** the node branched into children [left]/[right] *)
   | Pruned of { node : int }  (** reuse-prune: an ineffective split was skipped *)
@@ -79,6 +83,10 @@ type aggregate = {
   absorbed : int;  (** [Absorbed] events *)
   max_frontier : int;  (** largest frontier observed at a dequeue *)
   max_depth : int;  (** deepest node dequeued *)
+  lp_warm_hits : int;  (** summed from [Lp_solved] events *)
+  lp_warm_misses : int;
+  lp_cold_solves : int;
+  lp_pivots : int;
   verdict : string option;  (** from the terminal [Verdict] event *)
 }
 

@@ -1,6 +1,1 @@
-let now = Unix.gettimeofday
-
-let timed f =
-  let t0 = now () in
-  let r = f () in
-  (r, now () -. t0)
+include Ivan_clock.Clock

@@ -1,12 +1,8 @@
-(** Wall-clock helpers shared by the harness, CLI and profiler.
+(** Clock helpers shared by the harness, CLI and profiler.
 
-    One home for the [Unix.gettimeofday]-based timing previously
-    duplicated across the runner, the experiment campaigns and the
-    profiler. *)
+    Re-export of {!Ivan_clock.Clock}, the shared low-level time module:
+    {!now} / {!wall} for epoch timestamps, {!monotonic} for deadline
+    math, {!timed} for elapsed-time measurement (monotonic-backed, so an
+    NTP step mid-run cannot corrupt a measurement). *)
 
-val now : unit -> float
-(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). *)
-
-val timed : (unit -> 'a) -> 'a * float
-(** [timed f] runs [f ()] and returns its result together with the
-    elapsed wall-clock seconds. *)
+include module type of Ivan_clock.Clock

@@ -12,8 +12,14 @@ type setting = {
 }
 
 let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 })
-    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =
-  { analyzer = Analyzer.lp_triangle (); heuristic = Heuristic.zono_coeff; budget; strategy; policy }
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) ?(lp_warm = true) () =
+  {
+    analyzer = Analyzer.lp_triangle ~warm:lp_warm ();
+    heuristic = Heuristic.zono_coeff;
+    budget;
+    strategy;
+    policy;
+  }
 
 let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 })
     ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =

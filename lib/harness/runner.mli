@@ -23,12 +23,16 @@ val classifier_setting :
   ?budget:Ivan_bab.Bab.budget ->
   ?strategy:Ivan_bab.Frontier.strategy ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?lp_warm:bool ->
   unit ->
   setting
 (** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
     paper's §6.1 baseline stack).  Default budget: 400 calls, 30 s;
     default strategy: [Fifo]; default policy:
-    {!Ivan_analyzer.Analyzer.default_policy}. *)
+    {!Ivan_analyzer.Analyzer.default_policy}.  [lp_warm] (default true)
+    warm-starts each node's LP from the parent's simplex basis; verdicts
+    and trees are identical either way (the CLI exposes it as
+    [--lp-warm] / [--no-lp-warm]). *)
 
 val acas_setting :
   ?budget:Ivan_bab.Bab.budget ->

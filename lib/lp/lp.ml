@@ -1,14 +1,43 @@
 type cmp = Le | Ge | Eq
 
-type row = { coeffs : (int * float) list; cmp : cmp; rhs : float }
+(* Rows are stored sparse as parallel index/coefficient arrays.  Terms
+   with duplicate indices are summed when the tableau is built. *)
+type row = { idx : int array; cf : float array; cmp : cmp; rhs : float }
+
+type status = Basic | At_lower | At_upper | Free_zero
+
+type warm = Cold | Warm_hit | Warm_miss
+
+type solve_stats = {
+  pivots : int;  (* simplex iterations: basis changes + bound flips *)
+  factor_pivots : int;  (* Gauss pivots spent refactorizing a warm basis *)
+  phase1 : bool;  (* a cold solve needed the artificial Phase-1 start *)
+  warm : warm;
+}
+
+module Basis = struct
+  (* A snapshot of the simplex basis at an optimum: which column is
+     basic in each row, and the resting status of every structural and
+     slack column.  Captured by [capture] below only when no artificial
+     column is basic, so a snapshot can always be re-installed on a
+     tableau built without artificials. *)
+  type t = {
+    nvars : int;
+    nrows : int;
+    basics : int array;  (* row -> basic column in [0, nvars + nrows) *)
+    statuses : status array;  (* structural + slack columns *)
+  }
+end
 
 type problem = {
   nvars : int;
   mutable obj : float array;
   lo : float array;
   hi : float array;
-  mutable rows_rev : row list;
+  mutable rows : row array;  (* first [nrows] entries are live *)
   mutable nrows : int;
+  mutable last_basis : Basis.t option;
+  mutable last_stats : solve_stats option;
 }
 
 type solution = { objective : float; primal : float array }
@@ -19,13 +48,17 @@ exception Iteration_limit
 
 exception Numerical_failure of string
 
-(* Observation/injection point for every [solve] call.  The resilience
+(* Observation/injection point for every solve entry.  The resilience
    layer installs a hook here to run deterministic fault campaigns;
-   production code leaves it at [None].  A plain ref, not domain-safe:
-   fault injection is a single-domain testing facility. *)
-let solve_hook : (problem -> unit) option ref = ref None
+   production code leaves it at [None].  Atomic, because [Runner] spawns
+   worker domains that all route their node LPs through here. *)
+let solve_hook : (problem -> unit) option Atomic.t = Atomic.make None
 
-let set_solve_hook h = solve_hook := h
+let set_solve_hook h = Atomic.set solve_hook h
+
+let run_hook p = match Atomic.get solve_hook with Some f -> f p | None -> ()
+
+let dummy_row = { idx = [||]; cf = [||]; cmp = Le; rhs = 0.0 }
 
 let create n =
   if n < 0 then invalid_arg "Lp.create: negative variable count";
@@ -34,13 +67,19 @@ let create n =
     obj = Array.make n 0.0;
     lo = Array.make n neg_infinity;
     hi = Array.make n infinity;
-    rows_rev = [];
+    rows = [||];
     nrows = 0;
+    last_basis = None;
+    last_stats = None;
   }
 
 let num_vars p = p.nvars
 
 let num_rows p = p.nrows
+
+let last_stats p = p.last_stats
+
+let basis p = p.last_basis
 
 let set_objective p c =
   if Array.length c <> p.nvars then invalid_arg "Lp.set_objective: dimension mismatch";
@@ -56,24 +95,61 @@ let get_bounds p j =
   if j < 0 || j >= p.nvars then invalid_arg "Lp.get_bounds: variable out of range";
   (p.lo.(j), p.hi.(j))
 
+let check_indices name p idx =
+  Array.iter (fun j -> if j < 0 || j >= p.nvars then invalid_arg name) idx
+
+let ensure_row_capacity p =
+  let cap = Array.length p.rows in
+  if p.nrows >= cap then begin
+    let grown = Array.make (max 8 (2 * cap)) dummy_row in
+    Array.blit p.rows 0 grown 0 cap;
+    p.rows <- grown
+  end
+
+let add_row p idx cf cmp rhs =
+  if Array.length idx <> Array.length cf then
+    invalid_arg "Lp.add_row: index/coefficient length mismatch";
+  check_indices "Lp.add_row: variable out of range" p idx;
+  ensure_row_capacity p;
+  let i = p.nrows in
+  p.rows.(i) <- { idx = Array.copy idx; cf = Array.copy cf; cmp; rhs };
+  p.nrows <- i + 1;
+  i
+
+let set_row p i idx cf cmp rhs =
+  if i < 0 || i >= p.nrows then invalid_arg "Lp.set_row: row out of range";
+  if Array.length idx <> Array.length cf then
+    invalid_arg "Lp.set_row: index/coefficient length mismatch";
+  check_indices "Lp.set_row: variable out of range" p idx;
+  p.rows.(i) <- { idx = Array.copy idx; cf = Array.copy cf; cmp; rhs }
+
 let add_constraint p coeffs cmp rhs =
-  List.iter
-    (fun (j, _) -> if j < 0 || j >= p.nvars then invalid_arg "Lp.add_constraint: variable out of range")
+  let len = List.length coeffs in
+  let idx = Array.make len 0 in
+  let cf = Array.make len 0.0 in
+  List.iteri
+    (fun k (j, a) ->
+      idx.(k) <- j;
+      cf.(k) <- a)
     coeffs;
-  p.rows_rev <- { coeffs; cmp; rhs } :: p.rows_rev;
-  p.nrows <- p.nrows + 1
+  ignore (add_row p idx cf cmp rhs)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded-variable primal simplex on a dense tableau.
 
-   Column layout: [0, n) structural, [n, n+m) slacks, [n+m, n+2m)
-   artificials.  Row i is  a_i^T x + s_i + d_i t_i = b_i  where the slack
-   bound encodes the comparison and d_i = ±1 makes the artificial start
-   non-negative.  Phase 1 minimizes the artificial sum from the all-
-   artificial basis; phase 2 minimizes the true objective with the
-   artificials pinned to zero. *)
+   Cold-solve column layout: [0, n) structural, [n, n+m) slacks,
+   [n+m, n+2m) artificials.  Row i is  a_i^T x + s_i + d_i t_i = b_i
+   where the slack bound encodes the comparison and d_i = ±1 makes the
+   artificial start non-negative.  Phase 1 minimizes the artificial sum
+   from the all-artificial basis; phase 2 minimizes the true objective
+   with the artificials pinned to zero.
 
-type status = Basic | At_lower | At_upper | Free_zero
+   Warm solves ([solve_from]) build an artificial-free tableau
+   ([0, n+m) columns only), re-install a captured parent basis by
+   Gauss-Jordan refactorization, repair any primal infeasibility left
+   by bound/row edits with a composite Phase-1, and run Phase 2 from
+   there — falling back to a cold solve on any mismatch or numerical
+   trouble. *)
 
 let eps_cost = 1e-9
 let eps_ratio = 1e-9
@@ -291,8 +367,9 @@ let check_tableau_finite t =
       raise (Numerical_failure (Printf.sprintf "non-finite reduced cost in column %d" j))
   done
 
-(* Run simplex iterations to optimality for the current cost row. *)
-let optimize t =
+(* Run simplex iterations to optimality for the current cost row,
+   accumulating the iteration count into [counter]. *)
+let optimize t ~counter =
   let iter = ref 0 in
   let degenerate_streak = ref 0 in
   let finished = ref None in
@@ -309,6 +386,7 @@ let optimize t =
     | Step_optimal -> finished := Some `Optimal
     | Step_unbounded -> finished := Some `Unbounded
     | Step_continue ->
+        incr counter;
         let moved = ref false in
         for i = 0 to t.m - 1 do
           if Float.abs (t.bval.(i) -. before.(i)) > eps_ratio then moved := true
@@ -328,22 +406,49 @@ let validate_problem p =
     if not (Float.is_finite p.obj.(j)) then
       raise (Numerical_failure (Printf.sprintf "non-finite objective coefficient on variable %d" j))
   done;
-  List.iter
-    (fun { coeffs; rhs; _ } ->
-      if not (Float.is_finite rhs) then raise (Numerical_failure "non-finite constraint rhs");
-      List.iter
-        (fun (j, a) ->
-          if not (Float.is_finite a) then
-            raise (Numerical_failure (Printf.sprintf "non-finite coefficient on variable %d" j)))
-        coeffs)
-    p.rows_rev
+  for i = 0 to p.nrows - 1 do
+    let r = p.rows.(i) in
+    if not (Float.is_finite r.rhs) then raise (Numerical_failure "non-finite constraint rhs");
+    Array.iteri
+      (fun k a ->
+        if not (Float.is_finite a) then
+          raise
+            (Numerical_failure (Printf.sprintf "non-finite coefficient on variable %d" r.idx.(k))))
+      r.cf
+  done
 
-let solve p =
-  (match !solve_hook with Some f -> f p | None -> ());
+(* Snapshot the optimal basis.  A degenerate optimum can leave an
+   artificial column basic at zero; artificials do not exist on the
+   warm tableau, so such a row's basic column is substituted with the
+   row's own slack when that slack is nonbasic.  The substituted
+   snapshot is no longer the exact optimal basis, only a near-identical
+   starting point — which is all the warm path needs, and a singular
+   substitution makes the child's refactorization fall back to a cold
+   solve anyway.  Only a row whose slack is already basic elsewhere
+   (impossible to substitute) declines the capture. *)
+let capture_basis p t =
+  let n = p.nvars in
+  let m = p.nrows in
+  let basics = Array.sub t.basis 0 m in
+  let statuses = Array.sub t.stat 0 (n + m) in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    if basics.(i) >= n + m then begin
+      let s = n + i in
+      if statuses.(s) <> Basic then begin
+        basics.(i) <- s;
+        statuses.(s) <- Basic
+      end
+      else ok := false
+    end
+  done;
+  if not !ok then None else Some { Basis.nvars = n; nrows = m; basics; statuses }
+
+let solve_cold ?(warm_note = Cold) p =
   validate_problem p;
   let n = p.nvars in
   let m = p.nrows in
-  let rows = Array.of_list (List.rev p.rows_rev) in
+  let rows = p.rows in
   let ncols = n + m + m in
   let lob = Array.make ncols 0.0 in
   let hib = Array.make ncols 0.0 in
@@ -372,8 +477,11 @@ let solve p =
      artificial, and phase 1 is skipped entirely when there are none. *)
   let resid = Array.make m 0.0 in
   for i = 0 to m - 1 do
-    let acc = ref rows.(i).rhs in
-    List.iter (fun (j, a) -> acc := !acc -. (a *. xval.(j))) rows.(i).coeffs;
+    let r = rows.(i) in
+    let acc = ref r.rhs in
+    for k = 0 to Array.length r.idx - 1 do
+      acc := !acc -. (r.cf.(k) *. xval.(r.idx.(k)))
+    done;
     resid.(i) <- !acc
   done;
   let tab = Array.make_matrix m ncols 0.0 in
@@ -382,13 +490,16 @@ let solve p =
   let bval = Array.make m 0.0 in
   let artificial_rows = ref 0 in
   for i = 0 to m - 1 do
+    let r = rows.(i) in
     let slack_feasible = resid.(i) >= lob.(n + i) -. 1e-12 && resid.(i) <= hib.(n + i) +. 1e-12 in
     if slack_feasible then begin
       (* Slack basis: row stays in its natural orientation; the
          artificial column is unused and pinned at 0. *)
-      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. a) rows.(i).coeffs;
+      for k = 0 to Array.length r.idx - 1 do
+        tab.(i).(r.idx.(k)) <- tab.(i).(r.idx.(k)) +. r.cf.(k)
+      done;
       tab.(i).(n + i) <- 1.0;
-      rhs_col.(i) <- rows.(i).rhs;
+      rhs_col.(i) <- r.rhs;
       basis.(i) <- n + i;
       stat.(n + i) <- Basic;
       hib.(n + m + i) <- 0.0;
@@ -398,10 +509,12 @@ let solve p =
     else begin
       incr artificial_rows;
       let sign = if resid.(i) >= 0.0 then 1.0 else -1.0 in
-      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. (sign *. a)) rows.(i).coeffs;
+      for k = 0 to Array.length r.idx - 1 do
+        tab.(i).(r.idx.(k)) <- tab.(i).(r.idx.(k)) +. (sign *. r.cf.(k))
+      done;
       tab.(i).(n + i) <- sign;
       tab.(i).(n + m + i) <- 1.0;
-      rhs_col.(i) <- sign *. rows.(i).rhs;
+      rhs_col.(i) <- sign *. r.rhs;
       basis.(i) <- n + m + i;
       stat.(n + m + i) <- Basic;
       bval.(i) <- Float.abs resid.(i);
@@ -411,17 +524,25 @@ let solve p =
   let t =
     { m; ncols; tab; zrow = Array.make ncols 0.0; rhs_col; lob; hib; xval; bval; basis; stat }
   in
+  let counter = ref 0 in
+  let used_phase1 = !artificial_rows > 0 in
+  let record result =
+    p.last_stats <-
+      Some { pivots = !counter; factor_pivots = 0; phase1 = used_phase1; warm = warm_note };
+    p.last_basis <- (match result with Optimal _ -> capture_basis p t | _ -> None);
+    result
+  in
   (* Phase 1: minimize the artificial sum (skipped when the slack basis
      is already feasible). *)
   let infeasible =
-    !artificial_rows > 0
+    used_phase1
     && begin
          let phase1_cost = Array.make ncols 0.0 in
          for i = 0 to m - 1 do
            phase1_cost.(n + m + i) <- 1.0
          done;
          refresh_cost_row t phase1_cost;
-         (match optimize t with
+         (match optimize t ~counter with
          | `Optimal -> ()
          | `Unbounded ->
              (* The phase-1 objective is bounded below by 0; reaching
@@ -436,7 +557,7 @@ let solve p =
          !infeasibility > eps_feas
        end
   in
-  if infeasible then Infeasible
+  if infeasible then record Infeasible
   else begin
     (* Pin artificials at zero and install the true objective. *)
     for i = 0 to m - 1 do
@@ -450,8 +571,8 @@ let solve p =
     let phase2_cost = Array.make ncols 0.0 in
     Array.blit p.obj 0 phase2_cost 0 n;
     refresh_cost_row t phase2_cost;
-    match optimize t with
-    | `Unbounded -> Unbounded
+    match optimize t ~counter with
+    | `Unbounded -> record Unbounded
     | `Optimal ->
         refresh_basic_values t;
         let primal = Array.sub t.xval 0 n in
@@ -459,8 +580,246 @@ let solve p =
         for j = 0 to n - 1 do
           objective := !objective +. (p.obj.(j) *. primal.(j))
         done;
-        Optimal { objective = !objective; primal }
+        record (Optimal { objective = !objective; primal })
   end
+
+let solve p =
+  run_hook p;
+  solve_cold p
+
+(* ------------------------------------------------------------------ *)
+(* Warm start *)
+
+exception Warm_bail
+
+(* Artificial-free tableau over structural + slack columns, rows in
+   their natural orientation with the slack identity in place. *)
+let build_warm_tableau p =
+  let n = p.nvars in
+  let m = p.nrows in
+  let ncols = n + m in
+  let lob = Array.make ncols 0.0 in
+  let hib = Array.make ncols 0.0 in
+  Array.blit p.lo 0 lob 0 n;
+  Array.blit p.hi 0 hib 0 n;
+  let tab = Array.make_matrix m ncols 0.0 in
+  let rhs_col = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let r = p.rows.(i) in
+    let slo, shi =
+      match r.cmp with Le -> (0.0, infinity) | Ge -> (neg_infinity, 0.0) | Eq -> (0.0, 0.0)
+    in
+    lob.(n + i) <- slo;
+    hib.(n + i) <- shi;
+    for k = 0 to Array.length r.idx - 1 do
+      tab.(i).(r.idx.(k)) <- tab.(i).(r.idx.(k)) +. r.cf.(k)
+    done;
+    tab.(i).(n + i) <- 1.0;
+    rhs_col.(i) <- r.rhs
+  done;
+  {
+    m;
+    ncols;
+    tab;
+    zrow = Array.make ncols 0.0;
+    rhs_col;
+    lob;
+    hib;
+    xval = Array.make ncols 0.0;
+    bval = Array.make m 0.0;
+    basis = Array.make m 0;
+    stat = Array.make ncols At_lower;
+  }
+
+(* Re-derive every nonbasic column's value from its status against the
+   problem's CURRENT bounds: bounds may have moved since the basis was
+   captured, and the feasibility repair below parks leavers at temporary
+   working bounds.  Statuses pointing at a bound that no longer exists
+   are downgraded to the resting status. *)
+let normalize_nonbasic t =
+  for j = 0 to t.ncols - 1 do
+    if t.stat.(j) <> Basic then begin
+      (match t.stat.(j) with
+      | At_lower when t.lob.(j) > neg_infinity -> t.xval.(j) <- t.lob.(j)
+      | At_upper when t.hib.(j) < infinity -> t.xval.(j) <- t.hib.(j)
+      | Free_zero when t.lob.(j) = neg_infinity && t.hib.(j) = infinity -> t.xval.(j) <- 0.0
+      | _ ->
+          t.stat.(j) <- resting_status t.lob.(j) t.hib.(j);
+          t.xval.(j) <- resting_value t.lob.(j) t.hib.(j));
+      ()
+    end
+  done
+
+let basics_within_bounds t =
+  let ok = ref true in
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    let v = t.bval.(i) in
+    if v < t.lob.(b) -. eps_feas || v > t.hib.(b) +. eps_feas then ok := false
+  done;
+  !ok
+
+(* Install a captured basis on a fresh warm tableau and bring the
+   tableau to that basis by Gauss-Jordan elimination.  Rows whose basic
+   column is their own slack are already unit-pivoted (the slack column
+   appears in no other row, so later pivots never disturb them); the
+   remaining rows are pivoted greedily on the largest available pivot
+   element.  When every remaining row's recorded column has collapsed —
+   typically a row rewritten by {!set_row} since the capture, e.g. a
+   ReLU constraint slot gone vacuous at this node — the basis is
+   repaired locally: such a row takes its own slack as basic (a unit
+   coefficient while the row is unpivoted) and the recorded column is
+   demoted to nonbasic.  Only when no repair applies either is the
+   snapshot truly singular for the current rows — bail to a cold
+   solve. *)
+let refactorize t (b : Basis.t) ~factor_counter =
+  let m = t.m in
+  let n = t.ncols - m in
+  Array.blit b.Basis.basics 0 t.basis 0 m;
+  Array.blit b.Basis.statuses 0 t.stat 0 t.ncols;
+  (* Sanity: basics are distinct, in range, and agree with statuses. *)
+  let is_basic = Array.make t.ncols false in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= t.ncols then raise Warm_bail;
+      if is_basic.(c) then raise Warm_bail;
+      is_basic.(c) <- true)
+    b.Basis.basics;
+  for j = 0 to t.ncols - 1 do
+    if is_basic.(j) <> (t.stat.(j) = Basic) then raise Warm_bail
+  done;
+  let pending = ref [] in
+  for i = m - 1 downto 0 do
+    if t.basis.(i) <> n + i then pending := i :: !pending
+  done;
+  while !pending <> [] do
+    let best_r = ref (-1) in
+    let best_mag = ref 0.0 in
+    List.iter
+      (fun r ->
+        let mag = Float.abs t.tab.(r).(t.basis.(r)) in
+        if mag > !best_mag then begin
+          best_r := r;
+          best_mag := mag
+        end)
+      !pending;
+    let r =
+      if !best_r >= 0 && !best_mag >= 1e-9 then !best_r
+      else begin
+        (* Stuck: repair one stuck row with its own slack. *)
+        let candidate = ref (-1) in
+        List.iter
+          (fun r ->
+            if
+              !candidate < 0
+              && (not is_basic.(n + r))
+              && Float.abs t.tab.(r).(n + r) >= 1e-9
+            then candidate := r)
+          !pending;
+        if !candidate < 0 then raise Warm_bail;
+        let r = !candidate in
+        let old = t.basis.(r) in
+        is_basic.(old) <- false;
+        t.stat.(old) <- resting_status t.lob.(old) t.hib.(old);
+        is_basic.(n + r) <- true;
+        t.stat.(n + r) <- Basic;
+        t.basis.(r) <- n + r;
+        r
+      end
+    in
+    pivot t r t.basis.(r);
+    incr factor_counter;
+    pending := List.filter (fun i -> i <> r) !pending
+  done
+
+(* Composite Phase-1 from the installed basis: basic variables pushed
+   outside their bounds by the edits since capture are driven back by
+   minimizing the sum of violations.  Each round extends the violated
+   variables' working bounds to their current values (so the search can
+   only improve them) and prices +/-1 on the violation direction; the
+   true bounds are restored before checking again.  Rounds are bounded —
+   persistent violation means the parent basis is a bad starting point
+   and the caller should solve cold. *)
+let repair_primal t ~counter =
+  let max_rounds = t.m + 8 in
+  let rounds = ref 0 in
+  let cost = Array.make t.ncols 0.0 in
+  refresh_basic_values t;
+  while not (basics_within_bounds t) do
+    incr rounds;
+    if !rounds > max_rounds then raise Warm_bail;
+    Array.fill cost 0 t.ncols 0.0;
+    let saved = ref [] in
+    for i = 0 to t.m - 1 do
+      let b = t.basis.(i) in
+      let v = t.bval.(i) in
+      if v < t.lob.(b) -. eps_feas then begin
+        saved := (b, t.lob.(b), t.hib.(b)) :: !saved;
+        cost.(b) <- -1.0;
+        t.lob.(b) <- v
+      end
+      else if v > t.hib.(b) +. eps_feas then begin
+        saved := (b, t.lob.(b), t.hib.(b)) :: !saved;
+        cost.(b) <- 1.0;
+        t.hib.(b) <- v
+      end
+    done;
+    refresh_cost_row t cost;
+    let outcome = optimize t ~counter in
+    List.iter (fun (b, lo, hi) ->
+        t.lob.(b) <- lo;
+        t.hib.(b) <- hi)
+      !saved;
+    (match outcome with `Unbounded -> raise Warm_bail | `Optimal -> ());
+    normalize_nonbasic t;
+    refresh_basic_values t
+  done
+
+let warm_attempt p (b : Basis.t) =
+  if b.Basis.nvars <> p.nvars || b.Basis.nrows <> p.nrows then None
+  else
+    match
+      validate_problem p;
+      let t = build_warm_tableau p in
+      let counter = ref 0 in
+      let factor_counter = ref 0 in
+      refactorize t b ~factor_counter;
+      normalize_nonbasic t;
+      repair_primal t ~counter;
+      (* Phase 2 from the repaired parent basis. *)
+      let cost = Array.make t.ncols 0.0 in
+      Array.blit p.obj 0 cost 0 p.nvars;
+      refresh_cost_row t cost;
+      (match optimize t ~counter with
+      | `Unbounded ->
+          (* Node LPs are bounded; an unbounded claim from a recycled
+             basis is more likely numerical drift than truth.  Certify
+             it with a cold solve instead. *)
+          raise Warm_bail
+      | `Optimal -> ());
+      refresh_basic_values t;
+      if not (basics_within_bounds t) then raise Warm_bail;
+      let n = p.nvars in
+      let primal = Array.sub t.xval 0 n in
+      let objective = ref 0.0 in
+      for j = 0 to n - 1 do
+        objective := !objective +. (p.obj.(j) *. primal.(j))
+      done;
+      (Optimal { objective = !objective; primal }, !counter, !factor_counter, t)
+    with
+    | exception Warm_bail -> None
+    | exception Numerical_failure _ -> None
+    | exception Iteration_limit -> None
+    | outcome -> Some outcome
+
+let solve_from p b =
+  run_hook p;
+  match warm_attempt p b with
+  | Some (result, pivots, factor_pivots, t) ->
+      p.last_stats <- Some { pivots; factor_pivots; phase1 = false; warm = Warm_hit };
+      p.last_basis <- capture_basis p t;
+      result
+  | None -> solve_cold ~warm_note:Warm_miss p
 
 let pp_result fmt = function
   | Infeasible -> Format.fprintf fmt "infeasible"

@@ -10,7 +10,17 @@
     using a primal simplex on bounded variables with a Phase-1 artificial
     start and Bland's anti-cycling rule.  Problem sizes in this repository
     (at most a few hundred variables and rows) are well within dense-
-    tableau territory. *)
+    tableau territory.
+
+    The solver is {e incremental}: an optimal {!solve} snapshots its
+    simplex basis, and {!solve_from} re-prices a near-identical problem
+    (bounds moved by {!set_bounds}, rows rewritten in place by
+    {!set_row}) from that snapshot instead of restarting Phase 1 — the
+    branch-and-bound verifier re-solves each child node's LP from its
+    parent's basis this way.  Warm starts never change answers: any
+    basis mismatch, unrepairable infeasibility, or numerical trouble
+    falls back to an ordinary cold solve inside {!solve_from}, and
+    infeasibility verdicts are only ever issued by the cold path. *)
 
 type cmp = Le | Ge | Eq
 
@@ -39,10 +49,13 @@ exception Numerical_failure of string
 
 val set_solve_hook : (problem -> unit) option -> unit
 (** Install (or clear, with [None]) a hook invoked at the start of every
-    {!solve} call, before validation.  Used by the resilience layer to
-    inject deterministic faults during campaigns; production code leaves
-    it unset.  The hook is a plain global, not domain-safe — it is a
-    single-domain testing facility. *)
+    {!solve} / {!solve_from} call, before validation.  Used by the
+    resilience layer to inject deterministic faults during campaigns;
+    production code leaves it unset.  The hook cell is atomic, so
+    installing and clearing it is safe even while {!Runner} worker
+    domains are solving: every domain sees either the hook or [None],
+    never a torn value.  ({!solve_from} triggers the hook once, even
+    when it falls back to an internal cold solve.) *)
 
 val create : int -> problem
 (** [create n] is a problem over [n] variables with zero objective and
@@ -68,10 +81,85 @@ val get_bounds : problem -> int -> float * float
 val add_constraint : problem -> (int * float) list -> cmp -> float -> unit
 (** [add_constraint p coeffs cmp rhs] adds the row
     [sum_j coeff_j * x_j cmp rhs].  Terms with duplicate indices are
-    summed.  @raise Invalid_argument on out-of-range variable indices. *)
+    summed.  Convenience wrapper over {!add_row}; hot paths (the
+    analyzer encoders) should build index/coefficient arrays and call
+    {!add_row} directly.  @raise Invalid_argument on out-of-range
+    variable indices. *)
+
+val add_row : problem -> int array -> float array -> cmp -> float -> int
+(** [add_row p idx cf cmp rhs] adds the row [sum_k cf_k * x_(idx_k) cmp
+    rhs] and returns its row index, for later in-place updates via
+    {!set_row}.  The arrays are copied; duplicate indices are summed.
+    This is the allocation-light fast path behind {!add_constraint}.
+    @raise Invalid_argument on out-of-range indices or mismatched array
+    lengths. *)
+
+val set_row : problem -> int -> int array -> float array -> cmp -> float -> unit
+(** [set_row p i idx cf cmp rhs] replaces row [i] in place.  Together
+    with {!set_bounds} this keeps a solved problem reusable: the
+    analyzer's persistent node encoding rewrites only the rows of split
+    ReLUs between solves instead of rebuilding the whole LP.  A
+    previously captured {!Basis.t} remains installable afterwards (the
+    problem's shape is unchanged); {!solve_from} re-prices against the
+    updated rows.  @raise Invalid_argument on an out-of-range row or
+    variable index, or mismatched array lengths. *)
 
 val solve : problem -> result
-(** Solve the problem as currently built.  The problem may be extended
-    and re-solved afterwards (each call solves from scratch). *)
+(** Solve the problem as currently built, from scratch (Phase-1
+    artificial start).  The problem may be extended and re-solved
+    afterwards.  Records {!last_stats}, and on an [Optimal] result
+    {!basis}. *)
+
+(** {2 Warm starts} *)
+
+module Basis : sig
+  type t
+  (** An opaque snapshot of an optimal simplex basis: the basic column
+      of every row plus the at-bound status of every structural and
+      slack column.  Immutable; safe to hold across later mutations of
+      the problem it was captured from. *)
+end
+
+val basis : problem -> Basis.t option
+(** The basis snapshot captured by the most recent successful solve of
+    this problem, if any.  [None] before the first solve, after a
+    non-[Optimal] result, or when the optimum left an artificial column
+    basic (a basis the warm path could not re-install). *)
+
+val solve_from : problem -> Basis.t -> result
+(** [solve_from p b] solves [p] warm-starting from basis [b] (typically
+    the parent node's {!basis}): the basis is re-installed by
+    refactorization, primal feasibility is repaired with a composite
+    Phase 1 if bound/row edits pushed basic variables out of bounds, and
+    Phase 2 runs from there — usually a handful of pivots instead of a
+    full two-phase solve.  Falls back to an internal cold {!solve} (and
+    reports [Warm_miss] in {!last_stats}) whenever the snapshot does not
+    fit: shape mismatch, singular or inconsistent basis, unrepairable
+    infeasibility, an unbounded warm claim, or numerical failure.
+    Verdicts are identical to a cold solve's — in particular
+    [Infeasible] is only ever decided by the cold path. *)
+
+(** {2 Per-solve statistics} *)
+
+type warm =
+  | Cold  (** ordinary {!solve} *)
+  | Warm_hit  (** {!solve_from} succeeded from the given basis *)
+  | Warm_miss  (** {!solve_from} fell back to a cold solve *)
+
+type solve_stats = {
+  pivots : int;
+      (** simplex iterations performed (basis changes + bound flips),
+          across all phases of the solve *)
+  factor_pivots : int;
+      (** Gauss-Jordan pivots spent re-installing a warm basis (0 for
+          cold solves; rows whose own slack is basic are free) *)
+  phase1 : bool;  (** a cold solve needed the artificial Phase-1 start *)
+  warm : warm;
+}
+
+val last_stats : problem -> solve_stats option
+(** Statistics of the most recent solve of this problem ([None] before
+    the first).  A [Warm_miss] entry reports the pivots of the cold
+    solve that answered. *)
 
 val pp_result : Format.formatter -> result -> unit

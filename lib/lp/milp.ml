@@ -1,4 +1,4 @@
-type stats = { nodes : int; lp_solves : int }
+type stats = { nodes : int; lp_solves : int; simplex_pivots : int; warm_hits : int }
 
 type result =
   | Optimal of { objective : float; primal : float array; stats : stats }
@@ -12,7 +12,7 @@ let eps_prune = 1e-9
 
 exception Out_of_nodes
 
-let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
+let solve ?(max_nodes = 100_000) ?incumbent ?(warm = true) p ~integer =
   List.iter
     (fun j ->
       if j < 0 || j >= Lp.num_vars p then invalid_arg "Milp.solve: binary out of range";
@@ -26,6 +26,8 @@ let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
   let best_primal = ref None in
   let nodes = ref 0 in
   let lp_solves = ref 0 in
+  let simplex_pivots = ref 0 in
+  let warm_hits = ref 0 in
   (* Most fractional binary of an LP solution, if any. *)
   let fractional primal =
     let best = ref None in
@@ -40,11 +42,27 @@ let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
       integer;
     !best
   in
-  let rec explore () =
+  (* Each node re-solves the same problem with one binary's bounds
+     pinned, so the parent's optimal basis is an ideal warm start for
+     both children: only bounds changed, the rows are identical. *)
+  let node_solve parent_basis =
+    incr lp_solves;
+    let result =
+      match parent_basis with
+      | Some b when warm -> Lp.solve_from p b
+      | Some _ | None -> Lp.solve p
+    in
+    (match Lp.last_stats p with
+    | Some s ->
+        simplex_pivots := !simplex_pivots + s.Lp.pivots;
+        if s.Lp.warm = Lp.Warm_hit then incr warm_hits
+    | None -> ());
+    result
+  in
+  let rec explore parent_basis =
     if !nodes >= max_nodes then raise Out_of_nodes;
     incr nodes;
-    incr lp_solves;
-    match Lp.solve p with
+    match node_solve parent_basis with
     | Lp.Infeasible -> ()
     | Lp.Unbounded ->
         (* The relaxation must be bounded for branch and bound to make
@@ -59,17 +77,18 @@ let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
               best_primal := Some (Array.copy primal)
           | Some (j, _) ->
               let lo, hi = Lp.get_bounds p j in
+              let my_basis = Lp.basis p in
               (* Branch toward the relaxation's preference first. *)
               let first, second = if primal.(j) >= 0.5 then (1.0, 0.0) else (0.0, 1.0) in
               Lp.set_bounds p j first first;
-              explore ();
+              explore my_basis;
               Lp.set_bounds p j second second;
-              explore ();
+              explore my_basis;
               Lp.set_bounds p j lo hi
         end
   in
   let outcome =
-    match explore () with
+    match explore None with
     | () -> `Done
     | exception Out_of_nodes -> `Capped
     | exception (Lp.Iteration_limit | Lp.Numerical_failure _) ->
@@ -79,7 +98,14 @@ let solve ?(max_nodes = 100_000) ?incumbent p ~integer =
         `Failed
   in
   restore ();
-  let stats = { nodes = !nodes; lp_solves = !lp_solves } in
+  let stats =
+    {
+      nodes = !nodes;
+      lp_solves = !lp_solves;
+      simplex_pivots = !simplex_pivots;
+      warm_hits = !warm_hits;
+    }
+  in
   match outcome with
   | `Capped -> Node_limit stats
   | `Failed -> Solver_failure stats

@@ -4,11 +4,22 @@
     restricted to {0, 1}.  Branching is depth-first on the most
     fractional binary (best-bound tie-breaking comes from the DFS order
     visiting the more promising side first); nodes are pruned against
-    the incumbent.  Supports warm starting by passing the previous
-    solve's optimal value as an initial incumbent bound — the setting of
-    the paper's §7 MILP-warm-start comparison. *)
+    the incumbent.  Supports warm starting on two levels: an incumbent
+    bound carried across solves (the setting of the paper's §7
+    MILP-warm-start comparison), and — within one solve — each child
+    node's LP re-priced from its parent's optimal simplex basis via
+    {!Lp.solve_from}, since a child differs from its parent only in one
+    binary's bounds. *)
 
-type stats = { nodes : int; lp_solves : int }
+type stats = {
+  nodes : int;
+  lp_solves : int;
+  simplex_pivots : int;
+      (** total simplex iterations across all node LPs (warm and cold) *)
+  warm_hits : int;
+      (** node LPs answered from the parent basis without a cold
+          fallback; 0 when [warm:false] *)
+}
 
 type result =
   | Optimal of { objective : float; primal : float array; stats : stats }
@@ -25,6 +36,7 @@ type result =
 val solve :
   ?max_nodes:int ->
   ?incumbent:float ->
+  ?warm:bool ->
   Lp.problem ->
   integer:int list ->
   result
@@ -34,8 +46,11 @@ val solve :
     bound on the optimum (e.g. from a feasible point or a previous
     solve); branches whose LP relaxation cannot beat it are pruned, and
     if no solution improves on it the result is [Infeasible] (meaning:
-    the true optimum is at least [incumbent]).  Binary variables must
-    have bounds within [0, 1].  Inner LP failures ({!Lp.Iteration_limit},
-    {!Lp.Numerical_failure}) are absorbed into [Solver_failure] rather
-    than escaping.
+    the true optimum is at least [incumbent]).  [warm] (default [true])
+    re-prices each child node's LP from its parent's basis; the verdict
+    and optimum are unchanged either way ({!Lp.solve_from} falls back to
+    a cold solve rather than alter an answer), only the pivot count
+    drops.  Binary variables must have bounds within [0, 1].
+    Inner LP failures ({!Lp.Iteration_limit}, {!Lp.Numerical_failure})
+    are absorbed into [Solver_failure] rather than escaping.
     @raise Invalid_argument on out-of-range or mis-bounded binaries. *)

@@ -138,6 +138,35 @@ let prop_bab_sound_random =
 
 
 
+(* Golden warm-vs-cold run: LP warm starting is a pure solver-level
+   optimization, so a branching verification must produce the identical
+   verdict, tree, node count and per-node lower bounds either way — only
+   the warm-start counters may differ. *)
+let test_warm_cold_identical () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.6 in
+  let cold = verify ~analyzer:(Analyzer.lp_triangle ~warm:false ()) net prop in
+  let warm = verify ~analyzer:(Analyzer.lp_triangle ~warm:true ()) net prop in
+  Alcotest.(check bool) "branching exercised" true (cold.Bab.stats.Bab.branchings >= 1);
+  Alcotest.(check bool) "same verdict" true (cold.Bab.verdict = warm.Bab.verdict);
+  Alcotest.(check int) "same tree size" cold.Bab.stats.Bab.tree_size warm.Bab.stats.Bab.tree_size;
+  Alcotest.(check int) "same analyzer calls" cold.Bab.stats.Bab.analyzer_calls
+    warm.Bab.stats.Bab.analyzer_calls;
+  let lbs run =
+    let acc = ref [] in
+    Tree.iter_nodes run.Bab.tree (fun n -> acc := Tree.lb n :: !acc);
+    List.rev !acc
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 1e-6)) "node lb identical" a b)
+    (lbs cold) (lbs warm);
+  Alcotest.(check int) "cold run never warm-starts" 0
+    (cold.Bab.stats.Bab.lp_warm_hits + cold.Bab.stats.Bab.lp_warm_misses);
+  Alcotest.(check bool) "warm run attempts warm starts" true
+    (warm.Bab.stats.Bab.lp_warm_hits + warm.Bab.stats.Bab.lp_warm_misses >= 1);
+  Alcotest.(check bool) "warm run achieves warm hits" true
+    (warm.Bab.stats.Bab.lp_warm_hits >= 1)
+
 let test_time_budget_exhaustion () =
   let net = Fixtures.paper_net () in
   let prop = Fixtures.paper_prop_with_offset 1.6 in
@@ -172,6 +201,7 @@ let suite =
     ("dimension mismatch", `Quick, test_dimension_mismatch);
     ("decision boundary", `Quick, test_decision_boundary);
     q prop_bab_sound_random;
+    ("warm and cold runs identical", `Quick, test_warm_cold_identical);
     ("time budget exhaustion", `Quick, test_time_budget_exhaustion);
     ("heuristic best deterministic", `Quick, test_heuristic_best_deterministic);
   ]

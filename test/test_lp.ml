@@ -273,7 +273,85 @@ let prop_redundant_rows =
       | Lp.Optimal a, Lp.Optimal b -> Float.abs (a.objective -. b.objective) < 1e-6
       | _, _ -> false)
 
+(* ---------------- Warm starts ---------------- *)
 
+(* Deterministic warm resolve: nudge one bound of a solved problem and
+   resolve from the captured basis.  A one-bound nudge must be a warm
+   hit, and the answer must match the analytic optimum. *)
+let test_solve_from_stats () =
+  let p = Lp.create 2 in
+  Lp.set_objective p [| -1.0; -1.0 |];
+  Lp.set_bounds p 0 0.0 3.0;
+  Lp.set_bounds p 1 0.0 3.0;
+  ignore (Lp.add_row p [| 0; 1 |] [| 1.0; 1.0 |] Lp.Le 4.0);
+  check_obj "cold" (-4.0) (Lp.solve p);
+  let b =
+    match Lp.basis p with Some b -> b | None -> Alcotest.fail "no basis captured"
+  in
+  (* x <= 2.5 still admits x + y = 4 (take x in [1, 2.5]). *)
+  Lp.set_bounds p 0 0.0 2.5;
+  (match Lp.solve_from p b with
+  | Lp.Optimal s -> Alcotest.(check (float 1e-6)) "warm objective" (-4.0) s.objective
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "warm solve failed");
+  match Lp.last_stats p with
+  | Some { Lp.warm = Lp.Warm_hit; _ } -> ()
+  | Some { Lp.warm = Lp.Warm_miss; _ } ->
+      Alcotest.fail "expected a warm hit on a one-bound nudge"
+  | Some { Lp.warm = Lp.Cold; _ } | None -> Alcotest.fail "warm stats not recorded"
+
+(* Randomized equivalence: after arbitrary bound nudges and an in-place
+   row rewrite, [solve_from] on a stale basis must agree exactly with a
+   cold solve of an identically mutated copy.  This is the warm-start
+   contract the BaB engine relies on: warm starting is a pure solver
+   optimization and never changes answers. *)
+let prop_solve_from_matches_cold =
+  QCheck.Test.make ~name:"solve_from agrees with cold solve after edits" ~count:80
+    QCheck.(make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let shape_rng = Rng.create seed in
+      let nvars = 3 + Rng.int shape_rng 6 in
+      let nrows = 2 + Rng.int shape_rng 4 in
+      let build () =
+        let p, _, _ = random_lp (Rng.create ((seed * 7) + 1)) nvars nrows in
+        p
+      in
+      let mutate p =
+        let rng = Rng.create ((seed * 13) + 5) in
+        for _ = 1 to 2 do
+          let j = Rng.int rng nvars in
+          let lo, hi = Lp.get_bounds p j in
+          let lo' = lo +. Rng.uniform rng (-0.3) 0.3 in
+          let hi' = Float.max (lo' +. 0.1) (hi +. Rng.uniform rng (-0.3) 0.3) in
+          Lp.set_bounds p j lo' hi'
+        done;
+        (* Rewrite one row in place, as the persistent node encoding does
+           when a ReLU's triangle rows are re-specialized. *)
+        let i = Rng.int rng nrows in
+        let idx = Array.init nvars (fun j -> j) in
+        let cf = Array.init nvars (fun _ -> Rng.uniform rng (-1.0) 1.0) in
+        Lp.set_row p i idx cf Lp.Le (Rng.uniform rng 0.3 2.0)
+      in
+      let warm_p = build () in
+      match Lp.solve warm_p with
+      | Lp.Infeasible | Lp.Unbounded -> QCheck.assume_fail ()
+      | Lp.Optimal _ -> (
+          match Lp.basis warm_p with
+          | None -> QCheck.assume_fail ()
+          | Some b -> (
+              mutate warm_p;
+              let cold_p = build () in
+              mutate cold_p;
+              let warm = Lp.solve_from warm_p b in
+              let cold = Lp.solve cold_p in
+              (match Lp.last_stats warm_p with
+              | Some { Lp.warm = Lp.Warm_hit | Lp.Warm_miss; _ } -> ()
+              | Some { Lp.warm = Lp.Cold; _ } | None ->
+                  QCheck.Test.fail_report "solve_from recorded no warm stats");
+              match (warm, cold) with
+              | Lp.Optimal a, Lp.Optimal b ->
+                  Float.abs (a.Lp.objective -. b.Lp.objective) < 1e-6
+              | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+              | _, _ -> false)))
 
 (* ---------------- Milp ---------------- *)
 
@@ -429,6 +507,8 @@ let suite =
     ("random optimality probes", `Quick, test_random_optimality);
     q prop_box_corner;
     q prop_redundant_rows;
+    ("solve_from stats", `Quick, test_solve_from_stats);
+    q prop_solve_from_matches_cold;
     ("milp knapsack", `Quick, test_milp_knapsack);
     ("milp tighter than relaxation", `Quick, test_milp_tighter_than_relaxation);
     ("milp bounds restored", `Quick, test_milp_bounds_restored);
