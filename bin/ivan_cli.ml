@@ -9,6 +9,7 @@
      reverify     re-verify an updated network from a stored proof
      diff         differential verification of a quantized variant
      check        verify a VNN-LIB property against a serialized network
+     cert-check   re-validate a proof artifact in exact arithmetic
      experiment   regenerate one of the paper's tables/figures *)
 
 module Vec = Ivan_tensor.Vec
@@ -22,6 +23,7 @@ module Engine = Ivan_bab.Engine
 module Frontier = Ivan_bab.Frontier
 module Trace = Ivan_bab.Trace
 module Analyzer = Ivan_analyzer.Analyzer
+module Cert = Ivan_cert.Cert
 module Ivan = Ivan_core.Ivan
 module Zoo = Ivan_data.Zoo
 module Runner = Ivan_harness.Runner
@@ -426,15 +428,18 @@ let diff_cmd =
 (* ---------------- check: network file + VNN-LIB property ---------------- *)
 
 let check_cmd =
-  let run net_path prop_path budget_calls input_split strategy policy lp_warm trace_out
+  let run net_path prop_path budget_calls input_split strategy policy lp_warm certify_out trace_out
       checkpoint_out checkpoint_every resume =
     if checkpoint_every <= 0 then failwith "--checkpoint-every must be positive";
+    let certify = certify_out <> None in
+    if certify && input_split then
+      failwith "--certify requires ReLU splitting (input-split proofs are not certifiable)";
     let net = Serialize.of_file net_path in
     let prop = Ivan_spec.Vnnlib.parse_file prop_path in
     let budget = { Bab.max_analyzer_calls = budget_calls; max_seconds = 120.0 } in
     let analyzer, heuristic =
       if input_split then (Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
-      else (Analyzer.lp_triangle ~warm:lp_warm (), Ivan_bab.Heuristic.zono_coeff)
+      else (Analyzer.lp_triangle ~warm:lp_warm ~certify (), Ivan_bab.Heuristic.zono_coeff)
     in
     with_trace trace_out (fun trace ->
         (* The engine is driven step by step so a checkpoint can be taken
@@ -446,9 +451,11 @@ let check_cmd =
           match resume with
           | Some path ->
               Format.printf "resuming from checkpoint %s@." path;
-              Engine.restore_from_file ~analyzer ~heuristic ~trace ~policy ~budget ~net ~prop path
+              Engine.restore_from_file ~analyzer ~heuristic ~trace ~policy ~certify ~budget ~net
+                ~prop path
           | None ->
-              Engine.create ~analyzer ~heuristic ~strategy ~trace ~budget ~policy ~net ~prop ()
+              Engine.create ~analyzer ~heuristic ~strategy ~trace ~budget ~policy ~certify ~net
+                ~prop ()
         in
         let save () =
           match checkpoint_out with
@@ -477,7 +484,24 @@ let check_cmd =
         | Engine.Exhausted -> Format.printf "unknown@.");
         Format.printf "(%d analyzer calls, %d splits, %.2fs)@."
           result.Engine.stats.Bab.analyzer_calls result.Engine.stats.Bab.branchings seconds;
-        Format.printf "%a@." Report.pp_engine_stats result.Engine.stats)
+        Format.printf "%a@." Report.pp_engine_stats result.Engine.stats;
+        match certify_out with
+        | None -> ()
+        | Some path -> (
+            match result.Engine.artifact with
+            | None ->
+                Format.printf
+                  "no proof artifact: the run was exhausted (nothing proved or disproved)@."
+            | Some artifact ->
+                Cert.Artifact.to_file path artifact;
+                Format.printf
+                  "proof artifact written to %s (%d certificates emitted, %d unavailable)@." path
+                  result.Engine.stats.Bab.certs_emitted
+                  result.Engine.stats.Bab.certs_unavailable;
+                if result.Engine.stats.Bab.certs_unavailable > 0 then
+                  Format.printf
+                    "warning: %d leaves lack certificates; cert-check will reject the artifact@."
+                    result.Engine.stats.Bab.certs_unavailable))
   in
   let net_arg =
     Arg.(
@@ -491,6 +515,15 @@ let check_cmd =
   in
   let input_split_arg =
     Arg.(value & flag & info [ "input-split" ] ~doc:"Branch on input dimensions instead of ReLUs.")
+  in
+  let certify_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certify" ] ~docv:"FILE"
+          ~doc:
+            "Collect an exact-arithmetic proof certificate for every verified leaf and write the \
+             self-contained proof artifact to FILE; re-validate it later with cert-check.")
   in
   let checkpoint_out_arg =
     Arg.(
@@ -517,7 +550,41 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
     Term.(
       const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg $ policy_term
-      $ lp_warm_arg $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg $ resume_arg)
+      $ lp_warm_arg $ certify_out_arg $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg
+      $ resume_arg)
+
+(* ---------------- cert-check: independent proof validation ---------------- *)
+
+let cert_check_cmd =
+  let run path =
+    (* A corrupted artifact may fail to parse at all; that is as much a
+       rejection as a failed certificate check, never a crash. *)
+    let artifact =
+      match Cert.Artifact.of_file path with
+      | a -> Ok a
+      | exception (Failure msg | Sys_error msg) -> Error msg
+    in
+    match Result.bind artifact Cert.check_artifact with
+    | Ok report ->
+        Format.printf "%s: valid@.%a@." path Cert.pp_report report
+    | Error msg ->
+        Format.printf "%s: INVALID@.%s@." path msg;
+        exit 1
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROOF" ~doc:"Proof artifact produced by check --certify.")
+  in
+  Cmd.v
+    (Cmd.info "cert-check"
+       ~doc:
+         "Re-validate a proof artifact without rerunning the verifier: every leaf certificate's \
+          LP bound is re-derived in exact rational arithmetic, counterexamples are re-evaluated \
+          exactly, and the specification tree's structure is checked.  Exits non-zero on any \
+          defect.")
+    Term.(const run $ path_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -575,6 +642,7 @@ let () =
         reverify_cmd;
         diff_cmd;
         check_cmd;
+        cert_check_cmd;
         experiment_cmd;
       ] in
   exit (Cmd.eval group)

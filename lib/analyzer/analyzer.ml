@@ -18,6 +18,7 @@ type outcome = {
   lb : float;
   bounds : Bounds.t option;
   zono : Zonotope.analysis option;
+  cert : Ivan_cert.Cert.evidence option;
 }
 
 type t = {
@@ -25,7 +26,7 @@ type t = {
   run : Network.t -> prop:Prop.t -> box:Box.t -> splits:Splits.t -> outcome;
 }
 
-let vacuous = { status = Verified; lb = infinity; bounds = None; zono = None }
+let vacuous = { status = Verified; lb = infinity; bounds = None; zono = None; cert = None }
 
 let instrument ~on_run t =
   {
@@ -131,10 +132,10 @@ let interval_run net ~prop ~box ~splits =
   | Interval_dom.Infeasible -> vacuous
   | Interval_dom.Feasible bounds ->
       let itv = Bounds.objective_itv bounds ~c:prop.Prop.c ~offset:prop.Prop.offset in
-      if itv.Itv.lo >= 0.0 then { status = Verified; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+      if itv.Itv.lo >= 0.0 then { status = Verified; lb = itv.Itv.lo; bounds = Some bounds; zono = None; cert = None }
       else
         let status = concrete_status net ~prop (Box.center box) in
-        { status; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+        { status; lb = itv.Itv.lo; bounds = Some bounds; zono = None; cert = None }
 
 let interval () = { name = "interval"; run = interval_run }
 
@@ -147,11 +148,11 @@ let zonotope_run net ~prop ~box ~splits =
   | Zonotope.Feasible a ->
       let itv = Zonotope.objective_itv a ~c:prop.Prop.c ~offset:prop.Prop.offset in
       if itv.Itv.lo >= 0.0 then
-        { status = Verified; lb = itv.Itv.lo; bounds = Some a.Zonotope.bounds; zono = Some a }
+        { status = Verified; lb = itv.Itv.lo; bounds = Some a.Zonotope.bounds; zono = Some a; cert = None }
       else
         let candidate = Zonotope.minimizing_input a ~c:prop.Prop.c in
         let status = concrete_status net ~prop candidate in
-        { status; lb = itv.Itv.lo; bounds = Some a.Zonotope.bounds; zono = Some a }
+        { status; lb = itv.Itv.lo; bounds = Some a.Zonotope.bounds; zono = Some a; cert = None }
 
 let zonotope () = { name = "zonotope"; run = zonotope_run }
 
@@ -167,10 +168,10 @@ let deeppoly_run net ~prop ~box ~splits =
       let bounds = Deeppoly.bounds dp in
       let itv = Deeppoly.objective_itv dp ~c:prop.Prop.c ~offset:prop.Prop.offset in
       if itv.Itv.lo >= 0.0 then
-        { status = Verified; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+        { status = Verified; lb = itv.Itv.lo; bounds = Some bounds; zono = None; cert = None }
       else
         let status = concrete_status net ~prop (Box.center box) in
-        { status; lb = itv.Itv.lo; bounds = Some bounds; zono = None }
+        { status; lb = itv.Itv.lo; bounds = Some bounds; zono = None; cert = None }
 
 let deeppoly () = { name = "deeppoly"; run = deeppoly_run }
 
@@ -212,7 +213,23 @@ let milp_encoding net prop =
 (* ------------------------------------------------------------------ *)
 (* LP analyzer with triangle relaxation *)
 
-let lp_triangle_run ~deeppoly_shortcut ~warm net ~prop ~box ~splits =
+(* Freeze the LP and pair it with the solver's multipliers, right after
+   the solve and before any further mutation of the shared encoding.
+   Extraction is float-only and untrusted; the exact checker in
+   [Ivan_cert.Cert] decides whether the evidence actually proves
+   anything. *)
+let evidence_of lp ~const =
+  match Lp.last_certificate lp with
+  | None -> None
+  | Some witness ->
+      Some
+        {
+          Ivan_cert.Cert.const;
+          snapshot = Ivan_cert.Cert.Snapshot.of_problem lp;
+          witness;
+        }
+
+let lp_triangle_run ~deeppoly_shortcut ~warm ~certify net ~prop ~box ~splits =
   match Deeppoly.analyze net ~box ~splits with
   | Deeppoly.Infeasible -> vacuous
   | Deeppoly.Feasible dp -> (
@@ -231,7 +248,7 @@ let lp_triangle_run ~deeppoly_shortcut ~warm net ~prop ~box ~splits =
       in
       let cheap_lb = Float.max dp_itv.Itv.lo zono_lb in
       if deeppoly_shortcut && cheap_lb >= 0.0 then
-        { status = Verified; lb = cheap_lb; bounds = Some bounds; zono }
+        { status = Verified; lb = cheap_lb; bounds = Some bounds; zono; cert = None }
       else
         (* Specialize the persistent per-property encoding to this node;
            fall back to a fresh one-shot LP when the node is outside the
@@ -262,28 +279,31 @@ let lp_triangle_run ~deeppoly_shortcut ~warm net ~prop ~box ~splits =
         match solved with
         | `Solver_failed ->
             (* Numerical failure: fall back on the sound cheap bound. *)
-            if cheap_lb >= 0.0 then { status = Verified; lb = cheap_lb; bounds = Some bounds; zono }
-            else { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
+            if cheap_lb >= 0.0 then { status = Verified; lb = cheap_lb; bounds = Some bounds; zono; cert = None }
+            else { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono; cert = None }
         | `Result r -> (
             record_lp_info lp ~reusable;
+            let cert = if certify then evidence_of lp ~const else None in
             match r with
             | Lp.Infeasible ->
                 (* The relaxation is a superset of the true region, so an
                    infeasible relaxation proves the region empty. *)
-                { vacuous with bounds = Some bounds; zono }
+                { vacuous with bounds = Some bounds; zono; cert }
             | Lp.Unbounded ->
                 (* Cannot happen with a bounded input box, but stay sound. *)
-                { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono }
-            | Lp.Optimal { objective; primal } ->
+                { status = Unknown; lb = cheap_lb; bounds = Some bounds; zono; cert = None }
+            | Lp.Optimal { objective; primal; _ } ->
                 let lb = Float.max (objective +. const) cheap_lb in
-                if lb >= 0.0 then { status = Verified; lb; bounds = Some bounds; zono }
+                if lb >= 0.0 then { status = Verified; lb; bounds = Some bounds; zono; cert }
                 else
                   let candidate = Array.sub primal 0 (Box.dim box) in
                   let status = concrete_status net ~prop candidate in
-                  { status; lb; bounds = Some bounds; zono }))
+                  { status; lb; bounds = Some bounds; zono; cert = None }))
 
-let lp_triangle ?(deeppoly_shortcut = true) ?(warm = true) () =
-  { name = "lp-triangle"; run = lp_triangle_run ~deeppoly_shortcut ~warm }
+let lp_triangle ?(deeppoly_shortcut = true) ?(warm = true) ?(certify = false) () =
+  (* A shortcut verdict has no LP behind it, hence no certificate. *)
+  let deeppoly_shortcut = deeppoly_shortcut && not certify in
+  { name = "lp-triangle"; run = lp_triangle_run ~deeppoly_shortcut ~warm ~certify }
 
 (* ------------------------------------------------------------------ *)
 (* Exact MILP analyzer: big-M indicator encoding of every ambiguous
@@ -376,7 +396,7 @@ let milp_verify ?(max_nodes = 100_000) ?incumbent ?(warm = true) net ~prop ~box 
 let milp_exact ?(max_nodes = 100_000) ?(warm = true) () =
   let run net ~prop ~box ~splits =
     let o = milp_verify ~max_nodes ~warm net ~prop ~box ~splits in
-    { status = o.milp_status; lb = o.milp_lb; bounds = None; zono = None }
+    { status = o.milp_status; lb = o.milp_lb; bounds = None; zono = None; cert = None }
   in
   { name = "milp-exact"; run }
 
@@ -396,7 +416,7 @@ type fallback_event =
    process itself is in trouble, not one analyzer call. *)
 let fatal_exn = function Out_of_memory | Stack_overflow | Sys.Break -> true | _ -> false
 
-let degraded_outcome = { status = Unknown; lb = neg_infinity; bounds = None; zono = None }
+let degraded_outcome = { status = Unknown; lb = neg_infinity; bounds = None; zono = None; cert = None }
 
 (* An outcome produced under possible faults is only trusted when it
    cannot violate soundness: no NaN bound, [Verified] only with a

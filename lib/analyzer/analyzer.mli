@@ -26,6 +26,12 @@ type outcome = {
       (** per-neuron bounds, absent when the subproblem region is empty *)
   zono : Ivan_domains.Zonotope.analysis option;
       (** zonotope run used for branching scores, when available *)
+  cert : Ivan_cert.Cert.evidence option;
+      (** checkable evidence for the node's LP verdict (dual multipliers
+          with the frozen LP, or a Farkas witness); only produced by
+          {!lp_triangle} with [certify] set — [None] from every other
+          analyzer and from cheap-bound shortcuts, which the engine
+          counts as certificate-unavailable *)
 }
 
 type t = {
@@ -48,11 +54,19 @@ val instrument :
     attribute time to the analyzer boundary; it composes (instrumenting
     twice fires both hooks). *)
 
-val lp_triangle : ?deeppoly_shortcut:bool -> ?warm:bool -> unit -> t
+val lp_triangle : ?deeppoly_shortcut:bool -> ?warm:bool -> ?certify:bool -> unit -> t
 (** The LP analyzer.  When [deeppoly_shortcut] is true (default), a
     subproblem already proved by the DeepPoly pass skips the LP solve;
     the returned [lb] is then DeepPoly's.  Each [run] also performs a
     zonotope pass so branching heuristics can score ReLUs.
+
+    [certify] (default false) makes every LP-decided outcome carry
+    {!Ivan_cert.Cert.evidence}: the solver's dual or Farkas multipliers
+    together with a frozen copy of the node's LP, ready for exact
+    re-checking.  Certification disables the DeepPoly shortcut (a
+    shortcut verdict has no LP certificate) and snapshots each solved
+    LP, so it costs extra time and memory — the [--certify] bench suite
+    quantifies it.  Verdicts and bounds are unchanged.
 
     Node LPs come from a persistent per-(network, property) encoding
     ({!Encoding.Triangle}) specialized in place per subproblem, and when

@@ -513,7 +513,14 @@ module Triangle = struct
           done;
           Lp.set_row lp u.row_d u.pre_idx u.d_scratch Lp.Le (-.sign *. u.pre_const)
         in
-        let free_var () = Lp.set_bounds lp u.var neg_infinity infinity in
+        (* Even when rows pin [v] exactly (v = pre or v = slope*pre),
+           give it the finite bounds those rows imply rather than
+           leaving it free: the feasible set is unchanged, but dual
+           certificates need finite variable bounds to absorb the float
+           residue of reduced costs — a free variable with a nonzero
+           exact reduced cost would imply a bound of -inf and the proof
+           checker would have to reject the certificate. *)
+        let bound_var lo hi = Lp.set_bounds lp u.var lo hi in
         match Splits.find u.relu splits with
         | Some Splits.Pos ->
             (* v = pre on this side, plus the assumption pre >= 0. *)
@@ -521,14 +528,14 @@ module Triangle = struct
             b_chord 1.0 0.0;
             vacuous lp u.row_c;
             d_split (-1.0);
-            free_var ()
+            bound_var (Float.max l 0.0) (Float.max h 0.0)
         | Some Splits.Neg ->
             (* v = slope*pre, plus pre <= 0. *)
             vacuous lp u.row_a;
             if s > 0.0 then begin
               b_chord s 0.0;
               c_active ();
-              free_var ()
+              bound_var (s *. Float.min l 0.0) (s *. Float.min h 0.0)
             end
             else begin
               vacuous lp u.row_b;
@@ -543,7 +550,7 @@ module Triangle = struct
               b_chord 1.0 0.0;
               vacuous lp u.row_c;
               vacuous lp u.row_d;
-              free_var ()
+              bound_var l h
             end
             else if h <= 0.0 then begin
               (* Stable-negative: v = slope*pre exactly. *)
@@ -551,7 +558,7 @@ module Triangle = struct
               if s > 0.0 then begin
                 b_chord s 0.0;
                 c_active ();
-                free_var ()
+                bound_var (s *. l) (s *. h)
               end
               else begin
                 vacuous lp u.row_b;
@@ -586,7 +593,14 @@ module Triangle = struct
         done;
         Lp.set_row t.lp u.row_hi u.svrow_idx u.sscratch Lp.Le (g_hi +. (lambda *. u.spre_const));
         Lp.set_row t.lp u.row_lo u.svrow_idx u.sscratch Lp.Ge (g_lo +. (lambda *. u.spre_const));
-        Lp.set_bounds t.lp u.svar neg_infinity infinity)
+        (* Finite bounds implied by the sandwich rows and pre in [l, h]
+           (same rationale as the piecewise units above: free variables
+           make dual certificates uncheckable). *)
+        let lo_p = Float.min (lambda *. l) (lambda *. h)
+        and hi_p = Float.max (lambda *. l) (lambda *. h) in
+        Lp.set_bounds t.lp u.svar
+          (lo_p +. Float.min g_lo g_hi)
+          (hi_p +. Float.max g_lo g_hi))
       t.sunits
 end
 

@@ -23,16 +23,23 @@ type stats = Engine.stats = {
   lp_warm_misses : int;
   lp_cold_solves : int;
   lp_pivots : int;
+  certs_emitted : int;
+  certs_unavailable : int;
 }
 
 type verdict = Engine.verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
 
-type run = Engine.run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
+type run = Engine.run = {
+  verdict : verdict;
+  tree : Ivan_spectree.Tree.t;
+  stats : stats;
+  artifact : Ivan_cert.Cert.Artifact.t option;
+}
 
-let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?policy ?initial_tree
-    ~net ~prop () =
+let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?policy ?certify
+    ?initial_tree ~net ~prop () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Bab.verify: property dimension does not match the network";
   Engine.run
-    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?policy ?initial_tree ~net ~prop
-       ())
+    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?policy ?certify ?initial_tree
+       ~net ~prop ())

@@ -42,6 +42,11 @@ type stats = Engine.stats = {
   lp_warm_misses : int;  (** warm attempts that fell back to cold *)
   lp_cold_solves : int;  (** node LPs solved without a warm attempt *)
   lp_pivots : int;  (** total simplex pivots across node LP solves *)
+  certs_emitted : int;
+      (** verified leaves whose certificate passed the emission-time
+          exact self-check (always 0 without [certify]) *)
+  certs_unavailable : int;
+      (** verified leaves left without a checkable certificate *)
 }
 
 type verdict = Engine.verdict =
@@ -49,7 +54,14 @@ type verdict = Engine.verdict =
   | Disproved of Ivan_tensor.Vec.t  (** a concrete counterexample *)
   | Exhausted  (** budget ran out — the paper's "Unknown / timeout" *)
 
-type run = Engine.run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
+type run = Engine.run = {
+  verdict : verdict;
+  tree : Ivan_spectree.Tree.t;
+  stats : stats;
+  artifact : Ivan_cert.Cert.Artifact.t option;
+      (** proof artifact of a [certify] run (see {!Engine}); [None]
+          without [certify] or on [Exhausted] *)
+}
 
 val verify :
   analyzer:Ivan_analyzer.Analyzer.t ->
@@ -58,6 +70,7 @@ val verify :
   ?trace:Trace.sink ->
   ?budget:budget ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -67,6 +80,10 @@ val verify :
     [trace] (default {!Trace.null}) observes every engine step.
     [policy], when supplied, hardens the analyzer with
     {!Ivan_analyzer.Analyzer.with_fallback} (see {!Engine.create}).
+    [certify] (default false) collects exact-checked per-leaf proof
+    certificates into the run's [artifact] — pair it with an analyzer
+    built with [certify] (e.g. [Analyzer.lp_triangle ~certify:true ()]),
+    otherwise every leaf counts as certificate-unavailable.
     [initial_tree] (default: a single root node) is copied, never
     mutated: the returned tree extends the copy with the run's new
     splits and records the analyzer LB of every node it bounded.

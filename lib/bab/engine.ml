@@ -4,6 +4,7 @@ module Prop = Ivan_spec.Prop
 module Analyzer = Ivan_analyzer.Analyzer
 module Tree = Ivan_spectree.Tree
 module Lp = Ivan_lp.Lp
+module Cert = Ivan_cert.Cert
 module Clock = Ivan_clock.Clock
 
 type budget = { max_analyzer_calls : int; max_seconds : float }
@@ -27,11 +28,18 @@ type stats = {
   lp_warm_misses : int;
   lp_cold_solves : int;
   lp_pivots : int;
+  certs_emitted : int;
+  certs_unavailable : int;
 }
 
 type verdict = Proved | Disproved of Ivan_tensor.Vec.t | Exhausted
 
-type run = { verdict : verdict; tree : Tree.t; stats : stats }
+type run = {
+  verdict : verdict;
+  tree : Tree.t;
+  stats : stats;
+  artifact : Cert.Artifact.t option;
+}
 
 (* The resilience counters are refs rather than mutable fields: the
    fallback [notify] closure is built before the record exists (the
@@ -57,6 +65,15 @@ type t = {
      The table is engine-local bookkeeping, not verification state — a
      restored checkpoint simply starts its nodes cold. *)
   bases : (int, Lp.Basis.t) Hashtbl.t;
+  certify : bool;
+  (* Per-leaf certificates keyed by node id, self-checked in exact
+     arithmetic before being admitted; assembled into the run's proof
+     artifact at [finish].  Like [bases], the table is engine-local:
+     checkpoints serialize only the counters, so a restored run cannot
+     produce a complete artifact for leaves verified before the
+     checkpoint (they count as unavailable in the final artifact check,
+     never as silently certified). *)
+  certs : (int, Cert.leaf) Hashtbl.t;
   mutable steps : int;
   mutable calls : int;
   mutable branchings : int;
@@ -68,6 +85,8 @@ type t = {
   mutable lp_warm_misses : int;
   mutable lp_cold_solves : int;
   mutable lp_pivots : int;
+  mutable certs_emitted : int;
+  mutable certs_unavailable : int;
   mutable finished : run option;
 }
 
@@ -85,10 +104,11 @@ let status_label = function
    resilience wrapper and instrumentation around the analyzer and seeds
    the counters; the frontier starts empty and is filled by the
    caller. *)
-let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
-    ~started ~steps ~calls ~branchings ~analyzer_seconds ~max_frontier ~max_depth
+let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify ~tree
+    ~net ~prop ~started ~steps ~calls ~branchings ~analyzer_seconds ~max_frontier ~max_depth
     ~heuristic_failures ~retries:retries0 ~fallback_bounds:fallback_bounds0
-    ~faults_absorbed:faults_absorbed0 ~lp_warm_hits ~lp_warm_misses ~lp_cold_solves ~lp_pivots () =
+    ~faults_absorbed:faults_absorbed0 ~lp_warm_hits ~lp_warm_misses ~lp_cold_solves ~lp_pivots
+    ~certs_emitted ~certs_unavailable () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Engine.create: property dimension does not match the network";
   if check_time_every <= 0 then invalid_arg "Engine.create: check_time_every must be positive";
@@ -136,6 +156,8 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     fallback_bounds;
     faults_absorbed;
     bases = Hashtbl.create 64;
+    certify;
+    certs = Hashtbl.create 64;
     steps;
     calls;
     branchings;
@@ -147,17 +169,21 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     lp_warm_misses;
     lp_cold_solves;
     lp_pivots;
+    certs_emitted;
+    certs_unavailable;
     finished = None;
   }
 
 let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
-    ?(budget = default_budget) ?(check_time_every = 8) ?policy ?initial_tree ~net ~prop () =
+    ?(budget = default_budget) ?(check_time_every = 8) ?policy ?(certify = false) ?initial_tree
+    ~net ~prop () =
   let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
   let t =
-    make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~tree ~net ~prop
-      ~started:(Clock.monotonic ()) ~steps:0 ~calls:0 ~branchings:0 ~analyzer_seconds:0.0
-      ~max_frontier:0 ~max_depth:0 ~heuristic_failures:0 ~retries:0 ~fallback_bounds:0
-      ~faults_absorbed:0 ~lp_warm_hits:0 ~lp_warm_misses:0 ~lp_cold_solves:0 ~lp_pivots:0 ()
+    make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify ~tree
+      ~net ~prop ~started:(Clock.monotonic ()) ~steps:0 ~calls:0 ~branchings:0
+      ~analyzer_seconds:0.0 ~max_frontier:0 ~max_depth:0 ~heuristic_failures:0 ~retries:0
+      ~fallback_bounds:0 ~faults_absorbed:0 ~lp_warm_hits:0 ~lp_warm_misses:0 ~lp_cold_solves:0
+      ~lp_pivots:0 ~certs_emitted:0 ~certs_unavailable:0 ()
   in
   List.iter (fun n -> Frontier.push t.frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
   t
@@ -188,11 +214,50 @@ let stats_of t ~elapsed =
     lp_warm_misses = t.lp_warm_misses;
     lp_cold_solves = t.lp_cold_solves;
     lp_pivots = t.lp_pivots;
+    certs_emitted = t.certs_emitted;
+    certs_unavailable = t.certs_unavailable;
   }
+
+(* The proof artifact of a certified run: the final tree with one
+   checked certificate per verified leaf ([Proved]), or the concrete
+   counterexample ([Disproved]).  Leaves whose certificate was
+   unavailable are simply absent from [leaves] — [Cert.check_artifact]
+   reports them as missing rather than this code guessing.  An
+   [Exhausted] run proves nothing, so it carries no artifact. *)
+let artifact_of t verdict =
+  if not t.certify then None
+  else
+    match verdict with
+    | Exhausted -> None
+    | Proved ->
+        let leaves =
+          List.filter_map
+            (fun n -> Hashtbl.find_opt t.certs (Tree.node_id n))
+            (Tree.leaves t.tree)
+        in
+        Some
+          {
+            Cert.Artifact.net = t.net;
+            prop = t.prop;
+            verdict = Cert.Artifact.Proved;
+            tree = t.tree;
+            leaves;
+          }
+    | Disproved x ->
+        Some
+          {
+            Cert.Artifact.net = t.net;
+            prop = t.prop;
+            verdict = Cert.Artifact.Disproved (Array.copy x);
+            tree = t.tree;
+            leaves = [];
+          }
 
 let finish t verdict =
   let elapsed = Clock.monotonic () -. t.started in
-  let run = { verdict; tree = t.tree; stats = stats_of t ~elapsed } in
+  let run =
+    { verdict; tree = t.tree; stats = stats_of t ~elapsed; artifact = artifact_of t verdict }
+  in
   Trace.emit t.trace
     (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
   t.finished <- Some run;
@@ -247,7 +312,7 @@ let step t =
             Trace.emit t.trace
               (Trace.Absorbed
                  { node = id; analyzer = t.analyzer.Analyzer.name; reason = Printexc.to_string e });
-            { Analyzer.status = Analyzer.Unknown; lb = neg_infinity; bounds = None; zono = None }
+            { Analyzer.status = Analyzer.Unknown; lb = neg_infinity; bounds = None; zono = None; cert = None }
         in
         t.analyzer_seconds <- t.analyzer_seconds +. !(t.last_call);
         (* Collect the LP report, if the analyzer solved any: counters
@@ -282,7 +347,37 @@ let step t =
              });
         Tree.set_lb node outcome.Analyzer.lb;
         match outcome.Analyzer.status with
-        | Analyzer.Verified -> Running
+        | Analyzer.Verified ->
+            (* Certificate collection: re-check the analyzer's evidence
+               in exact arithmetic right now, so the table only ever
+               holds certificates the independent checker will accept —
+               a float-drift cert that fails the exact check is counted
+               unavailable, never emitted broken. *)
+            if t.certify then begin
+              let kind =
+                match outcome.Analyzer.cert with
+                | None -> "unavailable"
+                | Some evidence -> (
+                    let leaf =
+                      {
+                        Cert.node = id;
+                        splits = Cert.splits_fingerprint (Tree.path_decisions node);
+                        evidence;
+                      }
+                    in
+                    match Cert.check_leaf ~box:t.prop.Prop.input leaf with
+                    | Ok () ->
+                        Hashtbl.replace t.certs id leaf;
+                        (match evidence.Cert.witness with
+                        | Lp.Certificate.Dual _ -> "dual"
+                        | Lp.Certificate.Farkas _ -> "farkas")
+                    | Error _ -> "unavailable")
+              in
+              if kind = "unavailable" then t.certs_unavailable <- t.certs_unavailable + 1
+              else t.certs_emitted <- t.certs_emitted + 1;
+              Trace.emit t.trace (Trace.Certified { node = id; kind })
+            end;
+            Running
         | Analyzer.Counterexample x -> Finished (finish t (Disproved x))
         | Analyzer.Unknown -> (
             let ctx = { Heuristic.net = t.net; prop = t.prop; box; splits; outcome } in
@@ -356,7 +451,7 @@ let checkpoint t =
     | Some r -> r.stats.elapsed_seconds
     | None -> Clock.monotonic () -. t.started
   in
-  add "ivan-checkpoint 2";
+  add "ivan-checkpoint 3";
   add "strategy: %s" (Frontier.strategy_name (Frontier.strategy t.frontier));
   add "max_calls: %d" t.budget.max_analyzer_calls;
   add "max_seconds: %s" (float_token t.budget.max_seconds);
@@ -375,6 +470,8 @@ let checkpoint t =
   add "lp_warm_misses: %d" t.lp_warm_misses;
   add "lp_cold_solves: %d" t.lp_cold_solves;
   add "lp_pivots: %d" t.lp_pivots;
+  add "certs_emitted: %d" t.certs_emitted;
+  add "certs_unavailable: %d" t.certs_unavailable;
   add "elapsed: %s" (float_token elapsed);
   add "finished: %s"
     (match t.finished with None -> "running" | Some r -> verdict_to_tokens r.verdict);
@@ -395,7 +492,8 @@ let checkpoint_to_file t path =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (checkpoint t));
   Sys.rename tmp path
 
-let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~prop data =
+let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false) ?budget ~net
+    ~prop data =
   let fail fmt = Printf.ksprintf (fun s -> failwith ("Engine.restore: " ^ s)) fmt in
   let marker = "\ntree:\n" in
   let mpos =
@@ -434,6 +532,19 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
         "ivan-checkpoint 2" :: widen rest
     | _ -> lines
   in
+  (* Likewise version 2 predates the certificate counters. *)
+  let lines =
+    match lines with
+    | "ivan-checkpoint 2" :: rest ->
+        let rec widen = function
+          | [] -> fail "truncated version-2 header"
+          | l :: rest when String.length l >= 8 && String.sub l 0 8 = "elapsed:" ->
+              "certs_emitted: 0" :: "certs_unavailable: 0" :: l :: rest
+          | l :: rest -> l :: widen rest
+        in
+        "ivan-checkpoint 3" :: widen rest
+    | _ -> lines
+  in
   match lines with
   | [
    version;
@@ -455,11 +566,13 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
    lp_warm_misses_l;
    lp_cold_solves_l;
    lp_pivots_l;
+   certs_emitted_l;
+   certs_unavailable_l;
    elapsed_l;
    finished_l;
    frontier_l;
   ] ->
-      if version <> "ivan-checkpoint 2" then fail "unsupported header %S" version;
+      if version <> "ivan-checkpoint 3" then fail "unsupported header %S" version;
       let strategy =
         let s = field "strategy:" strategy_l in
         match Frontier.strategy_of_string s with
@@ -481,7 +594,7 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
       let t =
         make ~analyzer ~heuristic ~strategy ~trace ~budget
           ~check_time_every:(int_of_string (field "check_time_every:" check_every_l))
-          ~policy ~tree ~net ~prop
+          ~policy ~certify ~tree ~net ~prop
           ~started:(Clock.monotonic () -. elapsed)
           ~steps:(int_of_string (field "steps:" steps_l))
           ~calls:(int_of_string (field "calls:" calls_l))
@@ -497,6 +610,8 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
           ~lp_warm_misses:(int_of_string (field "lp_warm_misses:" lp_warm_misses_l))
           ~lp_cold_solves:(int_of_string (field "lp_cold_solves:" lp_cold_solves_l))
           ~lp_pivots:(int_of_string (field "lp_pivots:" lp_pivots_l))
+          ~certs_emitted:(int_of_string (field "certs_emitted:" certs_emitted_l))
+          ~certs_unavailable:(int_of_string (field "certs_unavailable:" certs_unavailable_l))
           ()
       in
       let nodes = Hashtbl.create 64 in
@@ -515,29 +630,38 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?budget ~net ~pro
         (List.filter
            (fun s -> s <> "")
            (String.split_on_char ' ' (field "frontier:" frontier_l)));
+      (* Terminal runs rebuilt from a checkpoint re-derive their
+         artifact through [artifact_of]: a [Disproved] artifact needs
+         only the recorded counterexample, while a restored [Proved] one
+         has an empty certificate table (leaf certificates are not
+         checkpointed) and [Cert.check_artifact] will truthfully report
+         every leaf as missing its certificate. *)
+      let finish_restored verdict =
+        t.finished <-
+          Some { verdict; tree; stats = stats_of t ~elapsed; artifact = artifact_of t verdict }
+      in
       (match String.split_on_char ' ' (field "finished:" finished_l) with
       | [ "running" ] -> ()
-      | [ "proved" ] ->
-          t.finished <- Some { verdict = Proved; tree; stats = stats_of t ~elapsed }
+      | [ "proved" ] -> finish_restored Proved
       | [ "exhausted" ] ->
           (* A budget-exhausted run is the one terminal state worth
              continuing: with a fresh budget and live frontier nodes the
              engine picks the search back up instead of replaying the
              recorded Exhausted verdict. *)
           if not (budget_overridden && Frontier.length t.frontier > 0) then
-            t.finished <- Some { verdict = Exhausted; tree; stats = stats_of t ~elapsed }
+            finish_restored Exhausted
       | "disproved" :: toks when toks <> [] ->
           let x = Array.of_list (List.map float_of_token toks) in
-          t.finished <- Some { verdict = Disproved x; tree; stats = stats_of t ~elapsed }
+          finish_restored (Disproved x)
       | _ -> fail "malformed finished line %S" finished_l);
       t
   | _ -> fail "malformed header"
 
-let restore_from_file ~analyzer ~heuristic ?trace ?policy ?budget ~net ~prop path =
+let restore_from_file ~analyzer ~heuristic ?trace ?policy ?certify ?budget ~net ~prop path =
   let ic = open_in path in
   let data =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  restore ~analyzer ~heuristic ?trace ?policy ?budget ~net ~prop data
+  restore ~analyzer ~heuristic ?trace ?policy ?certify ?budget ~net ~prop data

@@ -53,6 +53,14 @@ type stats = {
       (** node LP solves that never attempted a warm start (root node,
           restored checkpoints, non-reusable encodings, [--no-lp-warm]) *)
   lp_pivots : int;  (** total simplex pivots across all node LP solves *)
+  certs_emitted : int;
+      (** verified leaves whose certificate passed the emission-time
+          exact self-check and joined the proof artifact (0 unless the
+          engine was created with [certify]) *)
+  certs_unavailable : int;
+      (** verified leaves with no checkable certificate — the analyzer
+          produced none (non-LP verdict, fallback bound) or the exact
+          self-check rejected the solver's multipliers *)
 }
 
 type verdict =
@@ -60,7 +68,16 @@ type verdict =
   | Disproved of Ivan_tensor.Vec.t  (** a concrete counterexample *)
   | Exhausted  (** budget ran out — the paper's "Unknown / timeout" *)
 
-type run = { verdict : verdict; tree : Ivan_spectree.Tree.t; stats : stats }
+type run = {
+  verdict : verdict;
+  tree : Ivan_spectree.Tree.t;
+  stats : stats;
+  artifact : Ivan_cert.Cert.Artifact.t option;
+      (** the run's proof artifact, present iff the engine was created
+          with [certify] and the verdict is [Proved] or [Disproved];
+          validate with {!Ivan_cert.Cert.check_artifact} — a [Proved]
+          artifact is complete only when [stats.certs_unavailable = 0] *)
+}
 
 type t
 (** Mutable engine state. *)
@@ -73,6 +90,7 @@ val create :
   ?budget:budget ->
   ?check_time_every:int ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -93,6 +111,17 @@ val create :
     Even without a policy the engine absorbs non-fatal analyzer
     exceptions, turning the node into an [Unknown] outcome rather than
     crashing the run.
+
+    [certify] (default false) collects a proof certificate for every
+    verified leaf: the analyzer's LP evidence (pass an analyzer built
+    with the matching [certify] flag, e.g.
+    [Analyzer.lp_triangle ~certify:true ()]) is re-checked in exact
+    arithmetic on the spot and, if accepted, keyed to the leaf; the
+    certificates are assembled into the run's [artifact] at completion.
+    Leaves without acceptable evidence are counted in
+    [stats.certs_unavailable] and traced as {!Trace.Certified} with kind
+    ["unavailable"] — the engine never emits a certificate the
+    independent checker would reject.
     @raise Invalid_argument if the property's box dimension does not
     match the network input, or if [check_time_every <= 0]. *)
 
@@ -151,6 +180,7 @@ val restore :
   heuristic:Heuristic.t ->
   ?trace:Trace.sink ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
   ?budget:budget ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -163,6 +193,16 @@ val restore :
     exception: an [Exhausted] checkpoint restored with an overriding
     [budget] and a non-empty frontier resumes the search, so a run that
     ran out of budget can be granted more and continued.
+
+    [certify] (default false) re-enables certificate collection on the
+    restored engine, but note that leaf certificates are {e not} part of
+    a checkpoint (only the two counters are): leaves verified before the
+    checkpoint have no certificate in the restored run, so a resumed
+    [Proved] artifact will fail {!Ivan_cert.Cert.check_artifact} with
+    those leaves reported missing — certification honestly requires an
+    uninterrupted run.  Version-1 and version-2 checkpoints (predating
+    the warm-start and certificate counters respectively) restore with
+    the missing counters zeroed.
     @raise Failure on a malformed document.
     @raise Invalid_argument if [net]/[prop] do not match each other. *)
 
@@ -171,6 +211,7 @@ val restore_from_file :
   heuristic:Heuristic.t ->
   ?trace:Trace.sink ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
   ?budget:budget ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->

@@ -12,6 +12,7 @@ type event =
   | Retried of { node : int; analyzer : string; attempt : int; reason : string }
   | Fallback of { node : int; analyzer : string; reason : string }
   | Absorbed of { node : int; analyzer : string; reason : string }
+  | Certified of { node : int; kind : string }
   | Verdict of { verdict : string; calls : int; seconds : float }
 
 (* ---------------- sinks ---------------- *)
@@ -80,6 +81,8 @@ let event_to_json = function
       Printf.sprintf {|{"ev":"fallback","node":%d,"analyzer":%S,"reason":%S}|} node analyzer reason
   | Absorbed { node; analyzer; reason } ->
       Printf.sprintf {|{"ev":"absorbed","node":%d,"analyzer":%S,"reason":%S}|} node analyzer reason
+  | Certified { node; kind } ->
+      Printf.sprintf {|{"ev":"certified","node":%d,"kind":%S}|} node kind
   | Verdict { verdict; calls; seconds } ->
       Printf.sprintf {|{"ev":"verdict","verdict":%S,"calls":%d,"seconds":%s}|} verdict calls
         (float_token seconds)
@@ -192,6 +195,7 @@ let event_of_json line =
         { node = int "node"; analyzer = str "analyzer"; attempt = int "attempt"; reason = str "reason" }
   | "fallback" -> Fallback { node = int "node"; analyzer = str "analyzer"; reason = str "reason" }
   | "absorbed" -> Absorbed { node = int "node"; analyzer = str "analyzer"; reason = str "reason" }
+  | "certified" -> Certified { node = int "node"; kind = str "kind" }
   | "verdict" -> Verdict { verdict = str "verdict"; calls = int "calls"; seconds = float "seconds" }
   | ev -> failwith (Printf.sprintf "Trace.event_of_json: unknown event %S" ev)
 
@@ -245,6 +249,8 @@ type aggregate = {
   lp_warm_misses : int;
   lp_cold_solves : int;
   lp_pivots : int;
+  certified : int;
+  certs_unavailable : int;
   verdict : string option;
 }
 
@@ -265,6 +271,8 @@ let empty_aggregate =
     lp_warm_misses = 0;
     lp_cold_solves = 0;
     lp_pivots = 0;
+    certified = 0;
+    certs_unavailable = 0;
     verdict = None;
   }
 
@@ -299,6 +307,9 @@ let aggregate events =
       | Retried _ -> { acc with retries = acc.retries + 1 }
       | Fallback _ -> { acc with fallbacks = acc.fallbacks + 1 }
       | Absorbed _ -> { acc with absorbed = acc.absorbed + 1 }
+      | Certified { kind; _ } ->
+          if kind = "unavailable" then { acc with certs_unavailable = acc.certs_unavailable + 1 }
+          else { acc with certified = acc.certified + 1 }
       | Verdict { verdict; _ } -> { acc with verdict = Some verdict })
     empty_aggregate events
 
@@ -313,4 +324,6 @@ let pp_aggregate fmt a =
   if a.lp_warm_hits + a.lp_warm_misses + a.lp_cold_solves > 0 then
     Format.fprintf fmt ", LP %d warm / %d miss / %d cold (%d pivots)" a.lp_warm_hits a.lp_warm_misses
       a.lp_cold_solves a.lp_pivots;
+  if a.certified > 0 || a.certs_unavailable > 0 then
+    Format.fprintf fmt ", %d certified / %d uncertified" a.certified a.certs_unavailable;
   match a.verdict with None -> () | Some v -> Format.fprintf fmt ", verdict %s" v

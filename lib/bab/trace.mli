@@ -32,6 +32,11 @@ type event =
       (** a degraded (non-primary) analyzer's bound was accepted *)
   | Absorbed of { node : int; analyzer : string; reason : string }
       (** an analyzer failure was swallowed instead of crashing the run *)
+  | Certified of { node : int; kind : string }
+      (** certificate collection on a verified leaf: [kind] is ["dual"]
+          or ["farkas"] when a checkable certificate was emitted, and
+          ["unavailable"] when the leaf's verdict carried none (or the
+          emission-time exact self-check rejected it) *)
   | Verdict of { verdict : string; calls : int; seconds : float }
       (** terminal event: [proved], [disproved] or [exhausted] *)
 
@@ -87,6 +92,8 @@ type aggregate = {
   lp_warm_misses : int;
   lp_cold_solves : int;
   lp_pivots : int;
+  certified : int;  (** [Certified] events with an emitted certificate *)
+  certs_unavailable : int;  (** [Certified] events with kind ["unavailable"] *)
   verdict : string option;  (** from the terminal [Verdict] event *)
 }
 

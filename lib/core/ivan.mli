@@ -26,12 +26,17 @@ type config = {
   policy : Ivan_analyzer.Analyzer.policy;
       (** resilience policy of every BaB run this config drives: retry /
           fallback / node-timeout behavior on analyzer failures *)
+  certify : bool;
+      (** collect exact-checked proof certificates on every BaB run this
+          config drives (see {!Ivan_bab.Bab.verify}); pair with an
+          analyzer built with its matching [certify] flag *)
 }
 
 val default_config : config
 (** [Full] with [alpha = 0.25], [theta = 0.01] (the best cell of the
     paper's Figure 8 sweep), the default BaB budget, the [Fifo]
-    frontier and {!Ivan_analyzer.Analyzer.default_policy}. *)
+    frontier, {!Ivan_analyzer.Analyzer.default_policy} and certification
+    off. *)
 
 val verify_original :
   analyzer:Ivan_analyzer.Analyzer.t ->
@@ -39,6 +44,7 @@ val verify_original :
   ?budget:Ivan_bab.Bab.budget ->
   ?strategy:Ivan_bab.Frontier.strategy ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   unit ->

@@ -263,6 +263,7 @@ let fig8 ctx fmt =
               budget = setting.Runner.budget;
               strategy = setting.Runner.strategy;
               policy = setting.Runner.policy;
+              certify = setting.Runner.certify;
             }
           in
           let _run, tech_time =

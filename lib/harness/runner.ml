@@ -9,21 +9,31 @@ type setting = {
   budget : Bab.budget;
   strategy : Ivan_bab.Frontier.strategy;
   policy : Analyzer.policy;
+  certify : bool;
 }
 
 let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 })
-    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) ?(lp_warm = true) () =
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) ?(lp_warm = true)
+    ?(certify = false) () =
   {
-    analyzer = Analyzer.lp_triangle ~warm:lp_warm ();
+    analyzer = Analyzer.lp_triangle ~warm:lp_warm ~certify ();
     heuristic = Heuristic.zono_coeff;
     budget;
     strategy;
     policy;
+    certify;
   }
 
 let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 })
     ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =
-  { analyzer = Analyzer.zonotope (); heuristic = Heuristic.input_smear; budget; strategy; policy }
+  {
+    analyzer = Analyzer.zonotope ();
+    heuristic = Heuristic.input_smear;
+    budget;
+    strategy;
+    policy;
+    certify = false;
+  }
 
 type measurement = {
   verdict : Bab.verdict;
@@ -34,6 +44,9 @@ type measurement = {
   retries : int;
   fallback_bounds : int;
   faults_absorbed : int;
+  certs_emitted : int;
+  certs_unavailable : int;
+  artifact : Ivan_cert.Cert.Artifact.t option;
 }
 
 let solved m = match m.verdict with Bab.Proved | Bab.Disproved _ -> true | Bab.Exhausted -> false
@@ -55,6 +68,9 @@ let measure_of_run (run : Bab.run) seconds =
     retries = run.Bab.stats.Bab.retries;
     fallback_bounds = run.Bab.stats.Bab.fallback_bounds;
     faults_absorbed = run.Bab.stats.Bab.faults_absorbed;
+    certs_emitted = run.Bab.stats.Bab.certs_emitted;
+    certs_unavailable = run.Bab.stats.Bab.certs_unavailable;
+    artifact = run.Bab.artifact;
   }
 
 let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Workload.instance) =
@@ -62,13 +78,14 @@ let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Wor
   let original_run, original_time =
     Clock.timed (fun () ->
         Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy ~net ~prop ())
+          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
+          ~certify:setting.certify ~net ~prop ())
   in
   let baseline_run, baseline_time =
     Clock.timed (fun () ->
         Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy ~net:updated
-          ~prop ())
+          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
+          ~certify:setting.certify ~net:updated ~prop ())
   in
   let technique_runs =
     List.map
@@ -81,6 +98,7 @@ let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Wor
             budget = setting.budget;
             strategy = setting.strategy;
             policy = setting.policy;
+            certify = setting.certify;
           }
         in
         let run, seconds =

@@ -17,6 +17,10 @@ type setting = {
   policy : Ivan_analyzer.Analyzer.policy;
       (** resilience (retry / fallback / node-timeout) policy used by
           every BaB run of the setting *)
+  certify : bool;
+      (** collect exact-checked proof certificates on every BaB run of
+          the setting; the analyzer must be built with its matching
+          [certify] flag ({!classifier_setting} does this itself) *)
 }
 
 val classifier_setting :
@@ -24,6 +28,7 @@ val classifier_setting :
   ?strategy:Ivan_bab.Frontier.strategy ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?lp_warm:bool ->
+  ?certify:bool ->
   unit ->
   setting
 (** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
@@ -32,7 +37,10 @@ val classifier_setting :
     {!Ivan_analyzer.Analyzer.default_policy}.  [lp_warm] (default true)
     warm-starts each node's LP from the parent's simplex basis; verdicts
     and trees are identical either way (the CLI exposes it as
-    [--lp-warm] / [--no-lp-warm]). *)
+    [--lp-warm] / [--no-lp-warm]).  [certify] (default false) makes
+    every BaB run of the setting emit a proof artifact (the CLI's
+    [--certify]); verdicts and trees are again identical, only
+    certificates and their exact self-checks are added. *)
 
 val acas_setting :
   ?budget:Ivan_bab.Bab.budget ->
@@ -53,6 +61,11 @@ type measurement = {
   retries : int;  (** analyzer re-attempts by the resilience layer *)
   fallback_bounds : int;  (** nodes bounded by a degraded analyzer *)
   faults_absorbed : int;  (** analyzer failures swallowed *)
+  certs_emitted : int;  (** leaf certificates emitted (certify runs) *)
+  certs_unavailable : int;  (** verified leaves without a certificate *)
+  artifact : Ivan_cert.Cert.Artifact.t option;
+      (** the run's proof artifact under [certify] (see
+          {!Ivan_bab.Bab.run}) *)
 }
 
 val solved : measurement -> bool

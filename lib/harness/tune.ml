@@ -40,6 +40,7 @@ let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated i
               budget = setting.Runner.budget;
               strategy = setting.Runner.strategy;
               policy = setting.Runner.policy;
+              certify = setting.Runner.certify;
             }
           in
           let _run, tech_time =

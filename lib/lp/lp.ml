@@ -29,6 +29,16 @@ module Basis = struct
   }
 end
 
+module Certificate = struct
+  (* Row multipliers extracted from the final reduced-cost row of a
+     solve.  [Dual y] witnesses a lower bound on the objective by weak
+     duality; [Farkas y] witnesses infeasibility (the same bound
+     computation with a zero objective comes out strictly positive).
+     Both are checkable in exact arithmetic by [Ivan_cert.Cert] without
+     trusting the float simplex that produced them. *)
+  type t = Dual of float array | Farkas of float array
+end
+
 type problem = {
   nvars : int;
   mutable obj : float array;
@@ -38,9 +48,10 @@ type problem = {
   mutable nrows : int;
   mutable last_basis : Basis.t option;
   mutable last_stats : solve_stats option;
+  mutable last_certificate : Certificate.t option;
 }
 
-type solution = { objective : float; primal : float array }
+type solution = { objective : float; primal : float array; certificate : Certificate.t option }
 
 type result = Optimal of solution | Infeasible | Unbounded
 
@@ -71,6 +82,7 @@ let create n =
     nrows = 0;
     last_basis = None;
     last_stats = None;
+    last_certificate = None;
   }
 
 let num_vars p = p.nvars
@@ -79,7 +91,16 @@ let num_rows p = p.nrows
 
 let last_stats p = p.last_stats
 
+let last_certificate p = p.last_certificate
+
 let basis p = p.last_basis
+
+let objective_coeffs p = Array.copy p.obj
+
+let row p i =
+  if i < 0 || i >= p.nrows then invalid_arg "Lp.row: row out of range";
+  let r = p.rows.(i) in
+  (Array.copy r.idx, Array.copy r.cf, r.cmp, r.rhs)
 
 let set_objective p c =
   if Array.length c <> p.nvars then invalid_arg "Lp.set_objective: dimension mismatch";
@@ -444,6 +465,24 @@ let capture_basis p t =
   done;
   if not !ok then None else Some { Basis.nvars = n; nrows = m; basics; statuses }
 
+(* Row multipliers implied by the current reduced-cost row.  The slack
+   of row i appears only in row i, with coefficient +1 on warm tableaus
+   and the phase-1 scaling sign on cold ones; either way the scaling
+   cancels and the slack's reduced cost is the negated multiplier of
+   the row in its {e natural} orientation, so y_i = -zrow(n+i)
+   uniformly.  Multipliers are clamped to the sign their comparison
+   admits: simplex tolerances can leave a wrong-signed residue of order
+   [eps_cost] which exact certificate checking would reject, and
+   clamping only ever weakens the certified bound. *)
+let extract_multipliers p t =
+  let n = p.nvars in
+  Array.init p.nrows (fun i ->
+      let v = -.t.zrow.(n + i) in
+      match p.rows.(i).cmp with
+      | Le -> Float.min 0.0 v
+      | Ge -> Float.max 0.0 v
+      | Eq -> v)
+
 let solve_cold ?(warm_note = Cold) p =
   validate_problem p;
   let n = p.nvars in
@@ -526,10 +565,11 @@ let solve_cold ?(warm_note = Cold) p =
   in
   let counter = ref 0 in
   let used_phase1 = !artificial_rows > 0 in
-  let record result =
+  let record ?certificate result =
     p.last_stats <-
       Some { pivots = !counter; factor_pivots = 0; phase1 = used_phase1; warm = warm_note };
     p.last_basis <- (match result with Optimal _ -> capture_basis p t | _ -> None);
+    p.last_certificate <- certificate;
     result
   in
   (* Phase 1: minimize the artificial sum (skipped when the slack basis
@@ -557,7 +597,9 @@ let solve_cold ?(warm_note = Cold) p =
          !infeasibility > eps_feas
        end
   in
-  if infeasible then record Infeasible
+  (* On infeasibility the cost row still holds the phase-1 reduced
+     costs, whose multipliers are exactly a Farkas witness. *)
+  if infeasible then record ~certificate:(Certificate.Farkas (extract_multipliers p t)) Infeasible
   else begin
     (* Pin artificials at zero and install the true objective. *)
     for i = 0 to m - 1 do
@@ -580,7 +622,9 @@ let solve_cold ?(warm_note = Cold) p =
         for j = 0 to n - 1 do
           objective := !objective +. (p.obj.(j) *. primal.(j))
         done;
-        record (Optimal { objective = !objective; primal })
+        let certificate = Certificate.Dual (extract_multipliers p t) in
+        record ~certificate
+          (Optimal { objective = !objective; primal; certificate = Some certificate })
   end
 
 let solve p =
@@ -805,7 +849,8 @@ let warm_attempt p (b : Basis.t) =
       for j = 0 to n - 1 do
         objective := !objective +. (p.obj.(j) *. primal.(j))
       done;
-      (Optimal { objective = !objective; primal }, !counter, !factor_counter, t)
+      let certificate = Some (Certificate.Dual (extract_multipliers p t)) in
+      (Optimal { objective = !objective; primal; certificate }, !counter, !factor_counter, t)
     with
     | exception Warm_bail -> None
     | exception Numerical_failure _ -> None
@@ -818,11 +863,12 @@ let solve_from p b =
   | Some (result, pivots, factor_pivots, t) ->
       p.last_stats <- Some { pivots; factor_pivots; phase1 = false; warm = Warm_hit };
       p.last_basis <- capture_basis p t;
+      p.last_certificate <- (match result with Optimal s -> s.certificate | _ -> None);
       result
   | None -> solve_cold ~warm_note:Warm_miss p
 
 let pp_result fmt = function
   | Infeasible -> Format.fprintf fmt "infeasible"
   | Unbounded -> Format.fprintf fmt "unbounded"
-  | Optimal { objective; primal } ->
+  | Optimal { objective; primal; _ } ->
       Format.fprintf fmt "optimal %g at %a" objective Ivan_tensor.Vec.pp primal

@@ -27,9 +27,37 @@ type cmp = Le | Ge | Eq
 type problem
 (** A mutable LP under construction. *)
 
+(** {2 Proof certificates}
+
+    Every terminal verdict of the simplex carries evidence a client can
+    re-check without trusting the solver.  An [Optimal] solve yields the
+    row multipliers [y] of its final reduced-cost row: by weak duality,
+    for {e any} such vector the exactly recomputed value
+
+    {v y^T b + sum_j min over [lo_j, hi_j] of (c_j - y^T A_.j) x_j v}
+
+    (slacks included) is a sound lower bound on the LP's optimum, even
+    if every float pivot was wrong.  An [Infeasible] verdict yields the
+    phase-1 multipliers, a Farkas witness: the same computation with a
+    zero objective comes out strictly positive, which no feasible point
+    allows.  The exact-arithmetic checker lives in [Ivan_cert.Cert];
+    extraction here is float-only and untrusted. *)
+
+module Certificate : sig
+  type t =
+    | Dual of float array
+        (** row multipliers of an optimal solve; [y.(i)] is [<= 0] for a
+            [Le] row, [>= 0] for [Ge], free for [Eq] *)
+    | Farkas of float array
+        (** row multipliers witnessing infeasibility, same sign rules *)
+end
+
 type solution = {
   objective : float;  (** optimal value of [c^T x] *)
   primal : float array;  (** optimal assignment, indexed by variable *)
+  certificate : Certificate.t option;
+      (** dual certificate of this optimum (always [Some (Dual _)] from
+          this solver; an option so degraded producers can decline) *)
 }
 
 type result = Optimal of solution | Infeasible | Unbounded
@@ -76,6 +104,16 @@ val set_bounds : problem -> int -> float -> float -> unit
 
 val get_bounds : problem -> int -> float * float
 (** Current (lo, hi) of a variable.  @raise Invalid_argument if [j] is
+    out of range. *)
+
+val objective_coeffs : problem -> float array
+(** A copy of the current objective vector, for snapshotting the problem
+    a certificate refers to. *)
+
+val row : problem -> int -> int array * float array * cmp * float
+(** [row p i] is a copy of row [i] as (indices, coefficients, cmp, rhs).
+    Duplicate indices, if any, are preserved as stored (the tableau sums
+    them, and so must any checker).  @raise Invalid_argument if [i] is
     out of range. *)
 
 val add_constraint : problem -> (int * float) list -> cmp -> float -> unit
@@ -161,5 +199,13 @@ val last_stats : problem -> solve_stats option
 (** Statistics of the most recent solve of this problem ([None] before
     the first).  A [Warm_miss] entry reports the pivots of the cold
     solve that answered. *)
+
+val last_certificate : problem -> Certificate.t option
+(** Certificate of the most recent solve: [Some (Dual _)] after an
+    [Optimal] result (cold or warm), [Some (Farkas _)] after
+    [Infeasible], [None] after [Unbounded], a raised failure, or before
+    the first solve.  Refers to the problem's rows/bounds/objective as
+    they were at that solve; snapshot them (via {!row},
+    {!objective_coeffs}, {!get_bounds}) before mutating further. *)
 
 val pp_result : Format.formatter -> result -> unit

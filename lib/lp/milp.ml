@@ -68,7 +68,7 @@ let solve ?(max_nodes = 100_000) ?incumbent ?(warm = true) p ~integer =
         (* The relaxation must be bounded for branch and bound to make
            sense; our verification encodings always are. *)
         invalid_arg "Milp.solve: unbounded LP relaxation"
-    | Lp.Optimal { objective; primal } ->
+    | Lp.Optimal { objective; primal; _ } ->
         if objective >= !best_obj -. eps_prune then () (* bound: prune *)
         else begin
           match fractional primal with

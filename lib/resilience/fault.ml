@@ -2,6 +2,7 @@
 
 module Lp = Ivan_lp.Lp
 module Analyzer = Ivan_analyzer.Analyzer
+module Cert = Ivan_cert.Cert
 
 exception Injected of string
 
@@ -12,6 +13,8 @@ type kind =
   | Inf_bounds
   | Latency of float
   | Transient of string
+  | Cert_perturb_dual
+  | Cert_drop
 
 let kind_name = function
   | Lp_iteration_blowup -> "lp-iteration-blowup"
@@ -20,6 +23,8 @@ let kind_name = function
   | Inf_bounds -> "inf-bounds"
   | Latency _ -> "latency"
   | Transient _ -> "transient"
+  | Cert_perturb_dual -> "cert-perturb-dual"
+  | Cert_drop -> "cert-drop"
 
 let all_kinds =
   [
@@ -108,6 +113,57 @@ let apply_lp_fault = function
   | Nan_bounds | Inf_bounds -> raise (Lp.Numerical_failure "injected non-finite tableau")
   | Latency s -> Unix.sleepf s
   | Transient msg -> raise (Injected msg)
+  (* Certificates do not exist at the LP boundary (the hook fires before
+     the solve); these kinds only act on outcomes and artifacts. *)
+  | Cert_perturb_dual | Cert_drop -> ()
+
+(* Flip the first sign-constrained multiplier out of its admissible
+   half-space.  The exact checker enforces [y <= 0] on [Le] rows and
+   [y >= 0] on [Ge] rows, so the result is unconditionally rejected —
+   corruption can lose a certificate but never forge one that checks.
+   [None] when every row is an equality (no sign condition to violate);
+   callers then drop the certificate instead. *)
+let perturbed_witness (evidence : Cert.evidence) =
+  let corrupt y =
+    let y = Array.copy y in
+    let rows = evidence.Cert.snapshot.Cert.Snapshot.rows in
+    let rec go i =
+      if i >= Array.length y || i >= Array.length rows then None
+      else
+        match rows.(i).Cert.Snapshot.cmp with
+        | Lp.Le ->
+            y.(i) <- Float.abs y.(i) +. 1.0;
+            Some y
+        | Lp.Ge ->
+            y.(i) <- -.(Float.abs y.(i) +. 1.0);
+            Some y
+        | Lp.Eq -> go (i + 1)
+    in
+    go 0
+  in
+  match evidence.Cert.witness with
+  | Lp.Certificate.Dual y -> Option.map (fun y -> Lp.Certificate.Dual y) (corrupt y)
+  | Lp.Certificate.Farkas y -> Option.map (fun y -> Lp.Certificate.Farkas y) (corrupt y)
+
+let corrupt_evidence kind (evidence : Cert.evidence) =
+  match kind with
+  | Cert_drop -> None
+  | Cert_perturb_dual -> (
+      match perturbed_witness evidence with
+      | Some witness -> Some { evidence with Cert.witness }
+      | None -> None)
+  | _ -> Some evidence
+
+let corrupt_artifact kind (a : Cert.Artifact.t) =
+  match (kind, a.Cert.Artifact.leaves) with
+  | (Cert_perturb_dual | Cert_drop), (leaf : Cert.leaf) :: rest ->
+      let leaves =
+        match corrupt_evidence kind leaf.Cert.evidence with
+        | Some evidence -> { leaf with Cert.evidence } :: rest
+        | None -> rest
+      in
+      { a with Cert.Artifact.leaves }
+  | _, _ -> a
 
 let with_lp_faults p f =
   Lp.set_solve_hook
@@ -127,7 +183,7 @@ let wrap_analyzer p a =
     | Some Nan_bounds ->
         (* A corrupt "don't know" with a poisoned bound: the sanitation
            layer must reject it rather than record the NaN. *)
-        { Analyzer.status = Analyzer.Unknown; lb = nan; bounds = None; zono = None }
+        { Analyzer.status = Analyzer.Unknown; lb = nan; bounds = None; zono = None; cert = None }
     | Some Inf_bounds ->
         (* Corrupt only the reported bound, never the status: a
            fabricated [Verified] would let the injector itself break
@@ -135,5 +191,13 @@ let wrap_analyzer p a =
            the inconsistency the sanitation layer must distrust. *)
         let o = a.Analyzer.run net ~prop ~box ~splits in
         { o with Analyzer.lb = neg_infinity }
+    | Some ((Cert_perturb_dual | Cert_drop) as kind) ->
+        (* Corrupt only the certificate evidence, never verdict or
+           bound: the engine's emission-time exact self-check must
+           reject the damaged witness and count the leaf
+           certificate-unavailable — a lost certificate, never a forged
+           one. *)
+        let o = a.Analyzer.run net ~prop ~box ~splits in
+        { o with Analyzer.cert = Option.bind o.Analyzer.cert (corrupt_evidence kind) }
   in
   { a with Analyzer.run }

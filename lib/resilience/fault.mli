@@ -26,12 +26,21 @@ type kind =
   | Inf_bounds  (** the analyzer's reported bound collapses to [-inf] *)
   | Latency of float  (** the call stalls for the given seconds *)
   | Transient of string  (** an arbitrary transient exception *)
+  | Cert_perturb_dual
+      (** a stored dual / Farkas multiplier is perturbed out of its
+          admissible sign half-space — the exact checker rejects it
+          unconditionally *)
+  | Cert_drop  (** a leaf certificate is lost outright *)
 
 val kind_name : kind -> string
 
 val all_kinds : kind list
-(** One representative of every kind (latency 1 ms, a generic transient
-    message) — the default mix of {!plan}. *)
+(** One representative of every {e transient} kind (latency 1 ms, a
+    generic transient message) — the default mix of {!plan}.  The
+    certificate-corruption kinds are deliberately excluded: they model
+    proof-artifact damage, not call-site failures, and are opted into
+    explicitly (fault-matrix certificate schedules, {!corrupt_artifact}
+    tests). *)
 
 type site = Lp_solve | Analyzer_run
 
@@ -65,4 +74,25 @@ val with_lp_faults : plan -> (unit -> 'a) -> 'a
 val wrap_analyzer : plan -> Ivan_analyzer.Analyzer.t -> Ivan_analyzer.Analyzer.t
 (** The analyzer with the plan's faults injected at its boundary:
     exceptions and latency before the underlying call, bound corruption
-    (NaN, [-inf]) on its outcome.  Status is never fabricated. *)
+    (NaN, [-inf]) on its outcome, certificate corruption
+    ([Cert_perturb_dual] / [Cert_drop]) on its evidence.  Status is
+    never fabricated, and corrupted certificate evidence is always
+    rejected by the engine's emission-time exact self-check — injected
+    faults can lose certificates, never forge one. *)
+
+val corrupt_evidence : kind -> Ivan_cert.Cert.evidence -> Ivan_cert.Cert.evidence option
+(** Apply a certificate-corruption kind to leaf evidence:
+    [Cert_perturb_dual] flips a sign-constrained multiplier out of its
+    admissible half-space (or returns [None] when the snapshot has only
+    equality rows — the certificate is dropped rather than left possibly
+    valid), [Cert_drop] returns [None], and every other kind leaves the
+    evidence untouched. *)
+
+val corrupt_artifact : kind -> Ivan_cert.Cert.Artifact.t -> Ivan_cert.Cert.Artifact.t
+(** The artifact with {!corrupt_evidence} applied to its first leaf
+    certificate (perturbed in place, or removed).  A corrupted [Proved]
+    artifact always fails {!Ivan_cert.Cert.check_artifact} — with a
+    sign-condition error or a missing-certificate report — which is the
+    property the fault-matrix certificate schedules assert.  Artifacts
+    without leaf certificates (e.g. [Disproved]) are returned
+    unchanged. *)

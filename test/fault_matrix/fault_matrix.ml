@@ -21,6 +21,7 @@ module Heuristic = Ivan_bab.Heuristic
 module Bab = Ivan_bab.Bab
 module Tree = Ivan_spectree.Tree
 module Fault = Ivan_resilience.Fault
+module Cert = Ivan_cert.Cert
 
 (* The paper's running example (Fig. 2), self-contained: this
    executable builds in its own directory and cannot see test/
@@ -85,6 +86,76 @@ let run_schedule label analyzer heuristic property reference plan =
       | _ -> ());
       if not (Tree.well_formed faulted.Bab.tree) then fail label "malformed tree")
 
+(* Certificate-corruption schedules.  Property checked: injected
+   certificate faults can lose certificates (the leaf is counted
+   unavailable, the artifact fails the independent checker) but never
+   forge one — a corrupted artifact is always rejected, and the verdict
+   itself never changes. *)
+let certificate_schedules () =
+  let property = prop 1.7 in
+  let certified ?plan () =
+    let analyzer = Analyzer.lp_triangle ~certify:true () in
+    let analyzer, wrap =
+      match plan with
+      | None -> (analyzer, fun f -> f ())
+      | Some p -> (Fault.wrap_analyzer p analyzer, Fault.with_lp_faults p)
+    in
+    wrap (fun () ->
+        Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~budget ~certify:true ~net
+          ~prop:property ())
+  in
+  (* Fault-free reference: every leaf certified, artifact checks. *)
+  let reference = certified () in
+  incr schedules;
+  let label = "certificates fault-free" in
+  (match reference.Bab.verdict with
+  | Bab.Proved -> ()
+  | _ -> fail label "reference run did not prove the property");
+  (match reference.Bab.artifact with
+  | None -> fail label "certified run produced no artifact"
+  | Some artifact -> (
+      (match Cert.check_artifact artifact with
+      | Ok _ -> ()
+      | Error msg -> fail label "pristine artifact rejected: %s" msg);
+      (* Post-hoc corruption of a checked artifact: both kinds must be
+         rejected by the independent checker. *)
+      List.iter
+        (fun kind ->
+          incr schedules;
+          let label = Printf.sprintf "certificates corrupt-artifact %s" (Fault.kind_name kind) in
+          match Cert.check_artifact (Fault.corrupt_artifact kind artifact) with
+          | Ok _ -> fail label "corrupted artifact was accepted"
+          | Error _ -> ())
+        [ Fault.Cert_perturb_dual; Fault.Cert_drop ]));
+  (* In-flight corruption at the analyzer boundary: the engine's
+     emission-time self-check must reject damaged evidence (certificates
+     are lost, never forged) while the verdict stays Proved. *)
+  List.iter
+    (fun kind ->
+      for seed = 1 to 3 do
+        incr schedules;
+        let label =
+          Printf.sprintf "certificates in-flight %s seed=%d" (Fault.kind_name kind) seed
+        in
+        let plan = Fault.plan ~analyzer_rate:1.0 ~kinds:[ kind ] ~seed () in
+        match certified ~plan () with
+        | exception e -> fail label "uncaught exception %s" (Printexc.to_string e)
+        | faulted -> (
+            injected := !injected + Fault.injected plan;
+            (match faulted.Bab.verdict with
+            | Bab.Proved -> ()
+            | _ -> fail label "certificate fault changed the verdict");
+            if faulted.Bab.stats.Bab.certs_unavailable = 0 then
+              fail label "no certificate was lost despite rate-1.0 corruption";
+            match faulted.Bab.artifact with
+            | None -> fail label "certified run produced no artifact"
+            | Some artifact -> (
+                match Cert.check_artifact artifact with
+                | Ok _ -> fail label "artifact with lost certificates was accepted"
+                | Error _ -> ()))
+      done)
+    [ Fault.Cert_perturb_dual; Fault.Cert_drop ]
+
 let () =
   List.iter
     (fun (stack, analyzer, heuristic) ->
@@ -111,6 +182,7 @@ let () =
             Fault.all_kinds)
         [ 1.3; 1.7 ])
     stacks;
+  certificate_schedules ();
   Printf.printf "fault-matrix: %d schedules, %d faults injected, %d weakened to unknown, %d failures\n"
     !schedules !injected !weakened !failures;
   if !failures > 0 then exit 1

@@ -103,7 +103,7 @@ let dummy_ctx () =
     prop;
     box = prop.Prop.input;
     splits = Ivan_domains.Splits.empty;
-    outcome = { Analyzer.status = Analyzer.Unknown; lb = -1.0; bounds = None; zono = None };
+    outcome = { Analyzer.status = Analyzer.Unknown; lb = -1.0; bounds = None; zono = None; cert = None };
   }
 
 let test_hdelta_alpha_extremes () =

@@ -247,7 +247,7 @@ let test_stuck_heuristic_accounted () =
     {
       Analyzer.name = "always-unknown";
       run = (fun _net ~prop:_ ~box:_ ~splits:_ ->
-          { Analyzer.status = Analyzer.Unknown; lb = -1.0; bounds = None; zono = None });
+          { Analyzer.status = Analyzer.Unknown; lb = -1.0; bounds = None; zono = None; cert = None });
     }
   in
   let no_decisions = { Heuristic.name = "none"; scores = (fun _ -> []) } in

@@ -101,6 +101,9 @@ let test_report_summarize () =
       retries = 0;
       fallback_bounds = 0;
       faults_absorbed = 0;
+      certs_emitted = 0;
+      certs_unavailable = 0;
+      artifact = None;
     }
   in
   let comparison id base tech =
@@ -141,6 +144,9 @@ let test_report_verdict_counts () =
       retries = 0;
       fallback_bounds = 0;
       faults_absorbed = 0;
+      certs_emitted = 0;
+      certs_unavailable = 0;
+      artifact = None;
     }
   in
   let v, c, u =
@@ -173,6 +179,9 @@ let test_report_split_hard () =
           retries = 0;
           fallback_bounds = 0;
           faults_absorbed = 0;
+          certs_emitted = 0;
+          certs_unavailable = 0;
+          artifact = None;
         };
       baseline =
         {
@@ -184,6 +193,9 @@ let test_report_split_hard () =
           retries = 0;
           fallback_bounds = 0;
           faults_absorbed = 0;
+          certs_emitted = 0;
+          certs_unavailable = 0;
+          artifact = None;
         };
       techniques = [];
     }

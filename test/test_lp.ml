@@ -353,6 +353,103 @@ let prop_solve_from_matches_cold =
               | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
               | _, _ -> false)))
 
+(* ---------------- Certificates ---------------- *)
+
+module Cert = Ivan_cert.Cert
+module Q = Ivan_cert.Q
+
+(* Exact weak-duality audit of a solve's certificate: the bound the
+   multipliers imply, recomputed in exact rational arithmetic, must
+   never exceed the float objective (beyond float drift in the
+   objective itself) and must come out tight at an optimum. *)
+let audited_bound p (s : Lp.solution) =
+  let snap = Cert.Snapshot.of_problem p in
+  match s.Lp.certificate with
+  | Some (Lp.Certificate.Dual y) -> Cert.implied_bound snap ~y
+  | Some (Lp.Certificate.Farkas _) -> Error "optimal solve returned a Farkas witness"
+  | None -> Error "optimal solve returned no certificate"
+
+let prop_optimal_certificate_checks =
+  QCheck.Test.make ~name:"optimal certificates check exactly and bound the objective" ~count:60
+    QCheck.(make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 2 + Rng.int rng 5 in
+      let nrows = 1 + Rng.int rng 4 in
+      let p, _, _ = random_lp rng nvars nrows in
+      match Lp.solve p with
+      | Lp.Infeasible | Lp.Unbounded -> QCheck.assume_fail ()
+      | Lp.Optimal s -> (
+          match audited_bound p s with
+          | Error msg -> QCheck.Test.fail_reportf "certificate rejected: %s" msg
+          | Ok bound ->
+              (* Sound below, and tight at the optimum up to float drift. *)
+              Q.compare bound (Q.of_float (s.Lp.objective +. 1e-6)) <= 0
+              && Q.compare bound (Q.of_float (s.Lp.objective -. 1e-4)) >= 0))
+
+let prop_farkas_certificate_checks =
+  QCheck.Test.make ~name:"infeasible solves yield checkable Farkas witnesses" ~count:60
+    QCheck.(make QCheck.Gen.(pair (int_range 1 1_000_000) (float_range 0.1 2.0)))
+    (fun (seed, gap) ->
+      let rng = Rng.create seed in
+      let nvars = 2 + Rng.int rng 5 in
+      let p = Lp.create nvars in
+      for j = 0 to nvars - 1 do
+        Lp.set_bounds p j 0.0 1.0
+      done;
+      (* sum x_j >= nvars + gap is unsatisfiable over the unit box. *)
+      Lp.add_constraint p
+        (List.init nvars (fun j -> (j, 1.0)))
+        Lp.Ge
+        (float_of_int nvars +. gap);
+      match Lp.solve p with
+      | Lp.Optimal _ | Lp.Unbounded -> false
+      | Lp.Infeasible -> (
+          let snap = Cert.Snapshot.of_problem p in
+          match Lp.last_certificate p with
+          | Some (Lp.Certificate.Farkas y) -> (
+              match Cert.check_farkas snap ~y with
+              | Ok () -> true
+              | Error msg -> QCheck.Test.fail_reportf "Farkas witness rejected: %s" msg)
+          | Some (Lp.Certificate.Dual _) | None ->
+              QCheck.Test.fail_report "infeasible solve returned no Farkas witness"))
+
+let prop_warm_and_cold_both_certify =
+  QCheck.Test.make ~name:"warm and cold solves both yield checking certificates" ~count:40
+    QCheck.(make QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 2 + Rng.int rng 5 in
+      let nrows = 1 + Rng.int rng 3 in
+      let build () =
+        let p, _, _ = random_lp (Rng.create ((seed * 11) + 3)) nvars nrows in
+        p
+      in
+      let nudge p =
+        let rng = Rng.create ((seed * 17) + 9) in
+        let j = Rng.int rng nvars in
+        let lo, hi = Lp.get_bounds p j in
+        Lp.set_bounds p j lo (Float.max (lo +. 0.05) (hi -. 0.1))
+      in
+      let warm_p = build () in
+      match Lp.solve warm_p with
+      | Lp.Infeasible | Lp.Unbounded -> QCheck.assume_fail ()
+      | Lp.Optimal _ -> (
+          match Lp.basis warm_p with
+          | None -> QCheck.assume_fail ()
+          | Some b -> (
+              nudge warm_p;
+              let cold_p = build () in
+              nudge cold_p;
+              let audit p = function
+                | Lp.Optimal s -> (
+                    match audited_bound p s with
+                    | Ok bound -> Q.compare bound (Q.of_float (s.Lp.objective +. 1e-6)) <= 0
+                    | Error msg -> QCheck.Test.fail_reportf "certificate rejected: %s" msg)
+                | Lp.Infeasible | Lp.Unbounded -> QCheck.assume_fail ()
+              in
+              audit warm_p (Lp.solve_from warm_p b) && audit cold_p (Lp.solve cold_p))))
+
 (* ---------------- Milp ---------------- *)
 
 module Milp = Ivan_lp.Milp
@@ -509,6 +606,9 @@ let suite =
     q prop_redundant_rows;
     ("solve_from stats", `Quick, test_solve_from_stats);
     q prop_solve_from_matches_cold;
+    q prop_optimal_certificate_checks;
+    q prop_farkas_certificate_checks;
+    q prop_warm_and_cold_both_certify;
     ("milp knapsack", `Quick, test_milp_knapsack);
     ("milp tighter than relaxation", `Quick, test_milp_tighter_than_relaxation);
     ("milp bounds restored", `Quick, test_milp_bounds_restored);

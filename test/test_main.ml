@@ -10,6 +10,7 @@ let () =
       ("domains", Test_domains.suite);
       ("analyzer", Test_analyzer.suite);
       ("spectree", Test_spectree.suite);
+      ("cert", Test_cert.suite);
       ("bab", Test_bab.suite);
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);

@@ -156,7 +156,7 @@ let collect () =
   (notify, fun () -> (count retried, count fell_back, count absorbed))
 
 let test_fallback_retry_recovers () =
-  let verified = { Analyzer.status = Analyzer.Verified; lb = 0.5; bounds = None; zono = None } in
+  let verified = { Analyzer.status = Analyzer.Verified; lb = 0.5; bounds = None; zono = None; cert = None } in
   let attempts = ref 0 in
   let flaky =
     {
@@ -210,12 +210,12 @@ let test_fallback_sanitizes_outcomes () =
     o.Analyzer.status = Analyzer.Unknown && o.Analyzer.lb = neg_infinity
   in
   (* NaN lower bound. *)
-  let nan_lb = { Analyzer.status = Analyzer.Unknown; lb = nan; bounds = None; zono = None } in
+  let nan_lb = { Analyzer.status = Analyzer.Unknown; lb = nan; bounds = None; zono = None; cert = None } in
   Alcotest.(check bool) "NaN bound rejected" true
     (degraded (run_on_paper (Analyzer.with_fallback ~policy (constant "a" nan_lb))));
   (* Verified with a negative bound contradicts itself. *)
   let lying =
-    { Analyzer.status = Analyzer.Verified; lb = -1.0; bounds = None; zono = None }
+    { Analyzer.status = Analyzer.Verified; lb = -1.0; bounds = None; zono = None; cert = None }
   in
   Alcotest.(check bool) "inconsistent Verified rejected" true
     (degraded (run_on_paper (Analyzer.with_fallback ~policy (constant "b" lying))));
@@ -227,6 +227,7 @@ let test_fallback_sanitizes_outcomes () =
       lb = -1.0;
       bounds = None;
       zono = None;
+      cert = None;
     }
   in
   Alcotest.(check bool) "bogus counterexample rejected" true
