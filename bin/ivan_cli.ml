@@ -24,6 +24,8 @@ module Frontier = Ivan_bab.Frontier
 module Trace = Ivan_bab.Trace
 module Analyzer = Ivan_analyzer.Analyzer
 module Cert = Ivan_cert.Cert
+module Journal = Ivan_resilience.Journal
+module Supervisor = Ivan_supervise.Supervisor
 module Ivan = Ivan_core.Ivan
 module Zoo = Ivan_data.Zoo
 module Runner = Ivan_harness.Runner
@@ -429,7 +431,7 @@ let diff_cmd =
 
 let check_cmd =
   let run net_path prop_path budget_calls input_split strategy policy lp_warm certify_out trace_out
-      checkpoint_out checkpoint_every resume =
+      checkpoint_out checkpoint_every resume journal_out resume_journal mem_limit_mb =
     if checkpoint_every <= 0 then failwith "--checkpoint-every must be positive";
     let certify = certify_out <> None in
     if certify && input_split then
@@ -441,39 +443,102 @@ let check_cmd =
       if input_split then (Analyzer.zonotope (), Ivan_bab.Heuristic.input_smear)
       else (Analyzer.lp_triangle ~warm:lp_warm ~certify (), Ivan_bab.Heuristic.zono_coeff)
     in
+    (* A damaged checkpoint or journal is an operational error, not a
+       crash: report the diagnostic and exit 2. *)
+    let or_die_2 = function
+      | Ok v -> v
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 2
+    in
     with_trace trace_out (fun trace ->
         (* The engine is driven step by step so a checkpoint can be taken
            every [checkpoint_every] nodes; an interrupted run restarts
-           from its last checkpoint with --resume.  The CLI budget (and
-           on resume, also the strategy recorded in the checkpoint)
-           governs the continued run. *)
-        let engine =
-          match resume with
-          | Some path ->
-              Format.printf "resuming from checkpoint %s@." path;
-              Engine.restore_from_file ~analyzer ~heuristic ~trace ~policy ~certify ~budget ~net
-                ~prop path
-          | None ->
-              Engine.create ~analyzer ~heuristic ~strategy ~trace ~budget ~policy ~certify ~net
-                ~prop ()
+           from its last checkpoint with --resume, or — surviving kills
+           at arbitrary points, not just checkpoint boundaries — from a
+           write-ahead journal with --resume-journal.  The CLI budget
+           (and on resume, also the strategy recorded in the
+           checkpoint/journal) governs the continued run. *)
+        (* Read the old journal in full before (possibly) opening the
+           same path as the new sink — opening truncates. *)
+        let resume_data =
+          Option.map
+            (fun jpath ->
+              Format.printf "resuming from journal %s@." jpath;
+              or_die_2
+                (match
+                   let ic = open_in_bin jpath in
+                   Fun.protect
+                     ~finally:(fun () -> close_in_noerr ic)
+                     (fun () -> really_input_string ic (in_channel_length ic))
+                 with
+                | data -> Ok data
+                | exception Sys_error msg -> Error ("cannot read journal: " ^ msg)))
+            resume_journal
         in
-        let save () =
+        let journal = Option.map Journal.open_file journal_out in
+        let engine =
+          match resume_data with
+          | Some data ->
+              let engine, info =
+                or_die_2
+                  (Engine.resume_journal ~analyzer ~heuristic ~trace ~strategy ~policy ~certify
+                     ~budget ?journal ~net ~prop data)
+              in
+              Format.printf
+                "journal recovered: %d steps replayed (%d analyzer calls), %d bytes valid, %d \
+                 torn bytes dropped@."
+                info.Engine.replayed_steps info.Engine.replayed_calls info.Engine.valid_bytes
+                info.Engine.dropped_bytes;
+              engine
+          | None -> (
+              match resume with
+              | Some path ->
+                  Format.printf "resuming from checkpoint %s@." path;
+                  or_die_2
+                    (Engine.restore_from_file ~analyzer ~heuristic ~trace ~policy ~certify
+                       ~budget ?journal ~net ~prop path)
+              | None ->
+                  Engine.create ~analyzer ~heuristic ~strategy ~trace ~budget ~policy ~certify
+                    ?journal ~net ~prop ())
+        in
+        let save e =
           match checkpoint_out with
           | None -> ()
-          | Some path -> Engine.checkpoint_to_file engine path
+          | Some path -> Engine.checkpoint_to_file e path
         in
-        let result, seconds =
+        let (result, final_engine), seconds =
           Clock.timed (fun () ->
-              let rec loop steps =
-                match Engine.step engine with
-                | Engine.Finished run -> run
-                | Engine.Running ->
-                    if steps mod checkpoint_every = 0 then save ();
-                    loop (steps + 1)
-              in
-              loop 1)
+              match mem_limit_mb with
+              | Some mb ->
+                  (* Supervised run: the watchdog enforces the memory
+                     watermark, degrading through the fallback chain
+                     before ever giving up. *)
+                  let limits =
+                    {
+                      Supervisor.default_limits with
+                      Supervisor.max_major_words = Supervisor.mb_words (float_of_int mb);
+                    }
+                  in
+                  let outcome =
+                    Supervisor.supervise ~limits
+                      ~on_escalation:(fun e ->
+                        Format.printf "supervisor: %s@." (Supervisor.escalation_to_string e))
+                      ~heuristic ~policy ~certify ?journal ~net ~prop engine
+                  in
+                  (outcome.Supervisor.run, outcome.Supervisor.engine)
+              | None ->
+                  let rec loop steps =
+                    match Engine.step engine with
+                    | Engine.Finished run -> run
+                    | Engine.Running ->
+                        if steps mod checkpoint_every = 0 then save engine;
+                        loop (steps + 1)
+                  in
+                  (loop 1, engine))
         in
-        save ();
+        save final_engine;
+        Option.iter Journal.close journal;
         Option.iter (Format.printf "checkpoint written to %s@.") checkpoint_out;
         (match result.Engine.verdict with
         | Engine.Proved -> Format.printf "holds@."
@@ -546,12 +611,39 @@ let check_cmd =
           ~doc:"Resume from a checkpoint instead of starting fresh; the checkpoint's tree, \
                 frontier, counters and strategy are restored, the command line's budget applies.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write-ahead journal the run to FILE (one flushed frame per engine step plus \
+                periodic checkpoints), so a kill at any point can be resumed with \
+                --resume-journal losing at most one node of work.")
+  in
+  let resume_journal_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume-journal" ] ~docv:"FILE"
+          ~doc:"Resume a killed run from its write-ahead journal: torn or corrupt tail frames \
+                are dropped, the newest embedded checkpoint is restored and the steps after it \
+                are replayed.  Combine with --journal (same FILE is fine) to keep journaling.")
+  in
+  let mem_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-limit-mb" ] ~docv:"MB"
+          ~doc:"Supervise the run under a major-heap memory watermark: on a breach the watchdog \
+                compacts, then degrades to cheaper analyzers, then sheds state to the journal, \
+                and only as a last resort ends the run cleanly (exhausted verdict).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a VNN-LIB property against a serialized network.")
     Term.(
       const run $ net_arg $ prop_arg $ budget_arg $ input_split_arg $ strategy_arg $ policy_term
       $ lp_warm_arg $ certify_out_arg $ trace_out_arg $ checkpoint_out_arg $ checkpoint_every_arg
-      $ resume_arg)
+      $ resume_arg $ journal_arg $ resume_journal_arg $ mem_limit_arg)
 
 (* ---------------- cert-check: independent proof validation ---------------- *)
 

@@ -37,9 +37,9 @@ type run = Engine.run = {
 }
 
 let verify ~analyzer ~heuristic ?strategy ?trace ?(budget = default_budget) ?policy ?certify
-    ?initial_tree ~net ~prop () =
+    ?journal ?journal_every ?initial_tree ~net ~prop () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Bab.verify: property dimension does not match the network";
   Engine.run
-    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?policy ?certify ?initial_tree
-       ~net ~prop ())
+    (Engine.create ~analyzer ~heuristic ?strategy ?trace ~budget ?policy ?certify ?journal
+       ?journal_every ?initial_tree ~net ~prop ())

@@ -71,6 +71,8 @@ val verify :
   ?budget:budget ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?certify:bool ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -80,6 +82,9 @@ val verify :
     [trace] (default {!Trace.null}) observes every engine step.
     [policy], when supplied, hardens the analyzer with
     {!Ivan_analyzer.Analyzer.with_fallback} (see {!Engine.create}).
+    [journal], when supplied, write-ahead journals the run so it can be
+    killed and resumed via {!Engine.resume_journal} (see
+    {!Engine.create}).
     [certify] (default false) collects exact-checked per-leaf proof
     certificates into the run's [artifact] — pair it with an analyzer
     built with [certify] (e.g. [Analyzer.lp_triangle ~certify:true ()]),

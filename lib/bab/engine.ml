@@ -6,10 +6,13 @@ module Tree = Ivan_spectree.Tree
 module Lp = Ivan_lp.Lp
 module Cert = Ivan_cert.Cert
 module Clock = Ivan_clock.Clock
+module Journal = Ivan_resilience.Journal
 
 type budget = { max_analyzer_calls : int; max_seconds : float }
 
 let default_budget = { max_analyzer_calls = 10_000; max_seconds = infinity }
+
+let default_journal_every = 32
 
 type stats = {
   analyzer_calls : int;
@@ -43,7 +46,10 @@ type run = {
 
 (* The resilience counters are refs rather than mutable fields: the
    fallback [notify] closure is built before the record exists (the
-   wrapped analyzer is a [create]-time input of the record). *)
+   wrapped analyzer is a [create]-time input of the record).  The same
+   holds for the journal event buffer [jbuf] and the [journaling] flag —
+   resilience events raised inside an analyzer call must land in the
+   step's journal frame too. *)
 type t = {
   analyzer : Analyzer.t;  (* instrumented: each call records into [last_call] *)
   heuristic : Heuristic.t;
@@ -74,6 +80,15 @@ type t = {
      checkpoint (they count as unavailable in the final artifact check,
      never as silently certified). *)
   certs : (int, Cert.leaf) Hashtbl.t;
+  (* Write-ahead journal: events of the step in flight accumulate in
+     [jbuf] (newest first) and are flushed as one atomic Step frame when
+     the step completes; every [journal_every] Step frames (and at the
+     terminal step) a Checkpoint frame folds the whole prefix. *)
+  mutable journal : Journal.writer option;
+  mutable journal_every : int;
+  journaling : bool ref;
+  jbuf : Trace.event list ref;
+  mutable jsteps : int;  (* Step frames since the last Checkpoint frame *)
   mutable steps : int;
   mutable calls : int;
   mutable branchings : int;
@@ -104,33 +119,41 @@ let status_label = function
    resilience wrapper and instrumentation around the analyzer and seeds
    the counters; the frontier starts empty and is filled by the
    caller. *)
-let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify ~tree
-    ~net ~prop ~started ~steps ~calls ~branchings ~analyzer_seconds ~max_frontier ~max_depth
-    ~heuristic_failures ~retries:retries0 ~fallback_bounds:fallback_bounds0
-    ~faults_absorbed:faults_absorbed0 ~lp_warm_hits ~lp_warm_misses ~lp_cold_solves ~lp_pivots
-    ~certs_emitted ~certs_unavailable () =
+let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify
+    ~journal ~journal_every ~tree ~net ~prop ~started ~steps ~calls ~branchings
+    ~analyzer_seconds ~max_frontier ~max_depth ~heuristic_failures ~retries:retries0
+    ~fallback_bounds:fallback_bounds0 ~faults_absorbed:faults_absorbed0 ~lp_warm_hits
+    ~lp_warm_misses ~lp_cold_solves ~lp_pivots ~certs_emitted ~certs_unavailable () =
   if Box.dim prop.Prop.input <> Network.input_dim net then
     invalid_arg "Engine.create: property dimension does not match the network";
   if check_time_every <= 0 then invalid_arg "Engine.create: check_time_every must be positive";
+  if journal_every <= 0 then invalid_arg "Engine.create: journal_every must be positive";
   let last_call = ref 0.0 in
   let current_node = ref (-1) in
   let retries = ref retries0 in
   let fallback_bounds = ref fallback_bounds0 in
   let faults_absorbed = ref faults_absorbed0 in
+  let journaling = ref (journal <> None) in
+  let jbuf = ref [] in
   let analyzer =
     match policy with
     | None -> analyzer
     | Some policy ->
-        let notify = function
-          | Analyzer.Retried { analyzer; attempt; reason } ->
-              incr retries;
-              Trace.emit trace (Trace.Retried { node = !current_node; analyzer; attempt; reason })
-          | Analyzer.Fell_back { analyzer; reason } ->
-              incr fallback_bounds;
-              Trace.emit trace (Trace.Fallback { node = !current_node; analyzer; reason })
-          | Analyzer.Absorbed { analyzer; reason } ->
-              incr faults_absorbed;
-              Trace.emit trace (Trace.Absorbed { node = !current_node; analyzer; reason })
+        let notify reason =
+          let ev =
+            match reason with
+            | Analyzer.Retried { analyzer; attempt; reason } ->
+                incr retries;
+                Trace.Retried { node = !current_node; analyzer; attempt; reason }
+            | Analyzer.Fell_back { analyzer; reason } ->
+                incr fallback_bounds;
+                Trace.Fallback { node = !current_node; analyzer; reason }
+            | Analyzer.Absorbed { analyzer; reason } ->
+                incr faults_absorbed;
+                Trace.Absorbed { node = !current_node; analyzer; reason }
+          in
+          Trace.emit trace ev;
+          if !journaling then jbuf := ev :: !jbuf
         in
         Analyzer.with_fallback ~notify ~policy analyzer
   in
@@ -158,6 +181,11 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     bases = Hashtbl.create 64;
     certify;
     certs = Hashtbl.create 64;
+    journal;
+    journal_every;
+    journaling;
+    jbuf;
+    jsteps = 0;
     steps;
     calls;
     branchings;
@@ -174,19 +202,11 @@ let make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy
     finished = None;
   }
 
-let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
-    ?(budget = default_budget) ?(check_time_every = 8) ?policy ?(certify = false) ?initial_tree
-    ~net ~prop () =
-  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
-  let t =
-    make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify ~tree
-      ~net ~prop ~started:(Clock.monotonic ()) ~steps:0 ~calls:0 ~branchings:0
-      ~analyzer_seconds:0.0 ~max_frontier:0 ~max_depth:0 ~heuristic_failures:0 ~retries:0
-      ~fallback_bounds:0 ~faults_absorbed:0 ~lp_warm_hits:0 ~lp_warm_misses:0 ~lp_cold_solves:0
-      ~lp_pivots:0 ~certs_emitted:0 ~certs_unavailable:0 ()
-  in
-  List.iter (fun n -> Frontier.push t.frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
-  t
+(* Emit to the trace sink and, when a journal is attached, buffer the
+   event for the step's journal frame. *)
+let emit t ev =
+  Trace.emit t.trace ev;
+  if !(t.journaling) then t.jbuf := ev :: !(t.jbuf)
 
 let tree t = t.tree
 
@@ -258,8 +278,7 @@ let finish t verdict =
   let run =
     { verdict; tree = t.tree; stats = stats_of t ~elapsed; artifact = artifact_of t verdict }
   in
-  Trace.emit t.trace
-    (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
+  emit t (Trace.Verdict { verdict = verdict_label verdict; calls = t.calls; seconds = elapsed });
   t.finished <- Some run;
   run
 
@@ -275,7 +294,7 @@ let out_of_time t =
 
 type status = Running | Finished of run
 
-let step t =
+let step_once t =
   match t.finished with
   | Some run -> Finished run
   | None ->
@@ -290,7 +309,7 @@ let step t =
         let id = Tree.node_id node in
         let depth = List.length (Tree.path_decisions node) in
         t.max_depth <- max t.max_depth depth;
-        Trace.emit t.trace (Trace.Dequeued { node = id; depth; frontier = frontier_now });
+        emit t (Trace.Dequeued { node = id; depth; frontier = frontier_now });
         let box, splits = Tree.subproblem ~root_box:t.prop.Prop.input node in
         t.calls <- t.calls + 1;
         t.current_node := id;
@@ -309,7 +328,7 @@ let step t =
           try t.analyzer.Analyzer.run t.net ~prop:t.prop ~box ~splits
           with e when not (Analyzer.fatal_exn e) ->
             incr t.faults_absorbed;
-            Trace.emit t.trace
+            emit t
               (Trace.Absorbed
                  { node = id; analyzer = t.analyzer.Analyzer.name; reason = Printexc.to_string e });
             { Analyzer.status = Analyzer.Unknown; lb = neg_infinity; bounds = None; zono = None; cert = None }
@@ -326,7 +345,7 @@ let step t =
               t.lp_warm_misses <- t.lp_warm_misses + info.Analyzer.Warm.warm_misses;
               t.lp_cold_solves <- t.lp_cold_solves + info.Analyzer.Warm.cold_solves;
               t.lp_pivots <- t.lp_pivots + info.Analyzer.Warm.pivots;
-              Trace.emit t.trace
+              emit t
                 (Trace.Lp_solved
                    {
                      node = id;
@@ -337,7 +356,7 @@ let step t =
                    });
               info.Analyzer.Warm.basis
         in
-        Trace.emit t.trace
+        emit t
           (Trace.Analyzed
              {
                node = id;
@@ -375,7 +394,7 @@ let step t =
               in
               if kind = "unavailable" then t.certs_unavailable <- t.certs_unavailable + 1
               else t.certs_emitted <- t.certs_emitted + 1;
-              Trace.emit t.trace (Trace.Certified { node = id; kind })
+              emit t (Trace.Certified { node = id; kind })
             end;
             Running
         | Analyzer.Counterexample x -> Finished (finish t (Disproved x))
@@ -388,12 +407,12 @@ let step t =
                    numerical failure.  Count and trace it distinctly,
                    then stop — the budget was not the problem. *)
                 t.heuristic_failures <- t.heuristic_failures + 1;
-                Trace.emit t.trace (Trace.Stuck { node = id });
+                emit t (Trace.Stuck { node = id });
                 Finished (finish t Exhausted)
             | Some d ->
                 let left, right = Tree.split t.tree node d in
                 t.branchings <- t.branchings + 1;
-                Trace.emit t.trace
+                emit t
                   (Trace.Split
                      {
                        node = id;
@@ -414,12 +433,6 @@ let step t =
                 Running)
       end
 
-let run t =
-  let rec go () = match step t with Finished r -> r | Running -> go () in
-  go ()
-
-let cancel t = match t.finished with Some r -> r | None -> finish t Exhausted
-
 (* ------------------------------------------------------------------ *)
 (* Checkpoint / restore.
 
@@ -430,11 +443,10 @@ let cancel t = match t.finished with Some r -> r | None -> finish t Exhausted
    references survive the round trip).  The analyzer, heuristic and
    network are code, not state — [restore] takes them as arguments. *)
 
+(* [float_of_string_opt] accepts the "inf"/"-inf"/"nan" spellings %.17g
+   produces for non-finite values, so no special casing is needed when
+   reading tokens back. *)
 let float_token v = Printf.sprintf "%.17g" v
-
-(* [float_of_string] accepts the "inf"/"-inf"/"nan" spellings %.17g
-   produces for non-finite values, so no special casing is needed. *)
-let float_of_token = float_of_string
 
 let verdict_to_tokens = function
   | Proved -> "proved"
@@ -492,8 +504,108 @@ let checkpoint_to_file t path =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (checkpoint t));
   Sys.rename tmp path
 
-let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false) ?budget ~net
-    ~prop data =
+(* ------------------------------------------------------------------ *)
+(* Write-ahead journal.
+
+   Frame protocol (see {!Ivan_resilience.Journal} for the byte layout):
+   a Header frame carrying the config fingerprint opens every run; each
+   completed engine step appends exactly one Step frame holding the
+   step's trace events as JSONL (atomic: a step is journaled whole or
+   not at all); every [journal_every] steps — and always at the terminal
+   step — a Checkpoint frame folds the entire prefix, bounding recovery
+   replay.  Frames are flushed as they are appended, so after a kill the
+   journal is a valid prefix plus at most one torn frame, which
+   {!Journal.scan} drops. *)
+
+let fingerprint ~net ~prop =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Ivan_nn.Serialize.to_string net);
+  Buffer.add_char buf '\000';
+  let box = prop.Prop.input in
+  for i = 0 to Box.dim box - 1 do
+    Buffer.add_string buf (float_token (Box.lo_at box i));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (float_token (Box.hi_at box i));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_char buf '\000';
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (float_token c);
+      Buffer.add_char buf ' ')
+    prop.Prop.c;
+  Buffer.add_string buf (float_token prop.Prop.offset);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let journal_checkpoint t w =
+  Journal.append w Journal.Checkpoint (checkpoint t);
+  t.jsteps <- 0
+
+(* Attach a journal sink to an engine.  [fresh_run] appends a Header
+   frame unconditionally (a new run in a possibly shared journal);
+   otherwise the Header is only written when the sink is empty, so
+   restoring into an existing journal continues its current run. *)
+let attach_journal t ~fresh_run journal journal_every =
+  match journal with
+  | None -> ()
+  | Some w ->
+      t.journal <- Some w;
+      t.journal_every <- journal_every;
+      t.journaling := true;
+      if fresh_run || Journal.appends w = 0 then
+        Journal.append w Journal.Header (fingerprint ~net:t.net ~prop:t.prop);
+      journal_checkpoint t w
+
+let flush_step t =
+  match t.journal with
+  | None -> t.jbuf := []
+  | Some w -> (
+      match List.rev !(t.jbuf) with
+      | [] -> ()
+      | events ->
+          t.jbuf := [];
+          let payload = String.concat "\n" (List.map Trace.event_to_json events) in
+          Journal.append w Journal.Step payload;
+          t.jsteps <- t.jsteps + 1;
+          if t.finished <> None || t.jsteps >= t.journal_every then journal_checkpoint t w)
+
+let step t =
+  let r = step_once t in
+  flush_step t;
+  r
+
+let run t =
+  let rec go () = match step t with Finished r -> r | Running -> go () in
+  go ()
+
+let cancel t =
+  match t.finished with
+  | Some r -> r
+  | None ->
+      let r = finish t Exhausted in
+      flush_step t;
+      r
+
+let create ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?(trace = Trace.null)
+    ?(budget = default_budget) ?(check_time_every = 8) ?policy ?(certify = false) ?journal
+    ?(journal_every = default_journal_every) ?initial_tree ~net ~prop () =
+  let tree = match initial_tree with None -> Tree.create () | Some t -> Tree.copy t in
+  let t =
+    make ~analyzer ~heuristic ~strategy ~trace ~budget ~check_time_every ~policy ~certify
+      ~journal:None ~journal_every ~tree ~net ~prop ~started:(Clock.monotonic ()) ~steps:0
+      ~calls:0 ~branchings:0 ~analyzer_seconds:0.0 ~max_frontier:0 ~max_depth:0
+      ~heuristic_failures:0 ~retries:0 ~fallback_bounds:0 ~faults_absorbed:0 ~lp_warm_hits:0
+      ~lp_warm_misses:0 ~lp_cold_solves:0 ~lp_pivots:0 ~certs_emitted:0 ~certs_unavailable:0 ()
+  in
+  List.iter (fun n -> Frontier.push t.frontier ~priority:(Tree.lb n) n) (Tree.leaves tree);
+  attach_journal t ~fresh_run:true journal journal_every;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Restore *)
+
+let restore_exn ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false) ?budget
+    ~net ~prop data =
   let fail fmt = Printf.ksprintf (fun s -> failwith ("Engine.restore: " ^ s)) fmt in
   let marker = "\ntree:\n" in
   let mpos =
@@ -515,6 +627,18 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false
     if String.length line >= pl && String.sub line 0 pl = prefix then
       String.trim (String.sub line pl (String.length line - pl))
     else fail "expected %S, got %S" prefix line
+  in
+  let int_field prefix line =
+    let v = field prefix line in
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "field %S is not an integer: %S" prefix v
+  in
+  let float_field prefix line =
+    let v = field prefix line in
+    match float_of_string_opt v with
+    | Some x -> x
+    | None -> fail "field %S is not a number: %S" prefix v
   in
   let lines = String.split_on_char '\n' header in
   (* Version 1 checkpoints predate the warm-start counters; splice in
@@ -585,33 +709,33 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false
         | Some b -> b
         | None ->
             {
-              max_analyzer_calls = int_of_string (field "max_calls:" max_calls_l);
-              max_seconds = float_of_token (field "max_seconds:" max_seconds_l);
+              max_analyzer_calls = int_field "max_calls:" max_calls_l;
+              max_seconds = float_field "max_seconds:" max_seconds_l;
             }
       in
-      let elapsed = float_of_token (field "elapsed:" elapsed_l) in
+      let elapsed = float_field "elapsed:" elapsed_l in
       let tree = Tree.of_string tree_text in
       let t =
         make ~analyzer ~heuristic ~strategy ~trace ~budget
-          ~check_time_every:(int_of_string (field "check_time_every:" check_every_l))
-          ~policy ~certify ~tree ~net ~prop
+          ~check_time_every:(int_field "check_time_every:" check_every_l)
+          ~policy ~certify ~journal:None ~journal_every:default_journal_every ~tree ~net ~prop
           ~started:(Clock.monotonic () -. elapsed)
-          ~steps:(int_of_string (field "steps:" steps_l))
-          ~calls:(int_of_string (field "calls:" calls_l))
-          ~branchings:(int_of_string (field "branchings:" branchings_l))
-          ~analyzer_seconds:(float_of_token (field "analyzer_seconds:" analyzer_seconds_l))
-          ~max_frontier:(int_of_string (field "max_frontier:" max_frontier_l))
-          ~max_depth:(int_of_string (field "max_depth:" max_depth_l))
-          ~heuristic_failures:(int_of_string (field "heuristic_failures:" heuristic_failures_l))
-          ~retries:(int_of_string (field "retries:" retries_l))
-          ~fallback_bounds:(int_of_string (field "fallback_bounds:" fallback_bounds_l))
-          ~faults_absorbed:(int_of_string (field "faults_absorbed:" faults_absorbed_l))
-          ~lp_warm_hits:(int_of_string (field "lp_warm_hits:" lp_warm_hits_l))
-          ~lp_warm_misses:(int_of_string (field "lp_warm_misses:" lp_warm_misses_l))
-          ~lp_cold_solves:(int_of_string (field "lp_cold_solves:" lp_cold_solves_l))
-          ~lp_pivots:(int_of_string (field "lp_pivots:" lp_pivots_l))
-          ~certs_emitted:(int_of_string (field "certs_emitted:" certs_emitted_l))
-          ~certs_unavailable:(int_of_string (field "certs_unavailable:" certs_unavailable_l))
+          ~steps:(int_field "steps:" steps_l)
+          ~calls:(int_field "calls:" calls_l)
+          ~branchings:(int_field "branchings:" branchings_l)
+          ~analyzer_seconds:(float_field "analyzer_seconds:" analyzer_seconds_l)
+          ~max_frontier:(int_field "max_frontier:" max_frontier_l)
+          ~max_depth:(int_field "max_depth:" max_depth_l)
+          ~heuristic_failures:(int_field "heuristic_failures:" heuristic_failures_l)
+          ~retries:(int_field "retries:" retries_l)
+          ~fallback_bounds:(int_field "fallback_bounds:" fallback_bounds_l)
+          ~faults_absorbed:(int_field "faults_absorbed:" faults_absorbed_l)
+          ~lp_warm_hits:(int_field "lp_warm_hits:" lp_warm_hits_l)
+          ~lp_warm_misses:(int_field "lp_warm_misses:" lp_warm_misses_l)
+          ~lp_cold_solves:(int_field "lp_cold_solves:" lp_cold_solves_l)
+          ~lp_pivots:(int_field "lp_pivots:" lp_pivots_l)
+          ~certs_emitted:(int_field "certs_emitted:" certs_emitted_l)
+          ~certs_unavailable:(int_field "certs_unavailable:" certs_unavailable_l)
           ()
       in
       let nodes = Hashtbl.create 64 in
@@ -620,9 +744,18 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false
         | [] -> ()
         | [ tok ] -> fail "dangling frontier token %S" tok
         | id :: prio :: rest ->
-            let id = int_of_string id in
+            let id =
+              match int_of_string_opt id with
+              | Some i -> i
+              | None -> fail "frontier id %S is not an integer" id
+            in
+            let prio =
+              match float_of_string_opt prio with
+              | Some p -> p
+              | None -> fail "frontier priority %S is not a number" prio
+            in
             (match Hashtbl.find_opt nodes id with
-            | Some n -> Frontier.push t.frontier ~priority:(float_of_token prio) n
+            | Some n -> Frontier.push t.frontier ~priority:prio n
             | None -> fail "frontier references unknown node %d" id);
             push_frontier rest
       in
@@ -651,17 +784,226 @@ let restore ~analyzer ~heuristic ?(trace = Trace.null) ?policy ?(certify = false
           if not (budget_overridden && Frontier.length t.frontier > 0) then
             finish_restored Exhausted
       | "disproved" :: toks when toks <> [] ->
-          let x = Array.of_list (List.map float_of_token toks) in
+          let x =
+            Array.of_list
+              (List.map
+                 (fun tok ->
+                   match float_of_string_opt tok with
+                   | Some v -> v
+                   | None -> fail "counterexample token %S is not a number" tok)
+                 toks)
+          in
           finish_restored (Disproved x)
       | _ -> fail "malformed finished line %S" finished_l);
       t
   | _ -> fail "malformed header"
 
-let restore_from_file ~analyzer ~heuristic ?trace ?policy ?certify ?budget ~net ~prop path =
-  let ic = open_in path in
-  let data =
+let restore ~analyzer ~heuristic ?trace ?policy ?certify ?budget ?journal
+    ?(journal_every = default_journal_every) ~net ~prop data =
+  match restore_exn ~analyzer ~heuristic ?trace ?policy ?certify ?budget ~net ~prop data with
+  | t ->
+      attach_journal t ~fresh_run:false journal journal_every;
+      Ok t
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error ("Engine.restore: " ^ msg)
+
+let restore_from_file ~analyzer ~heuristic ?trace ?policy ?certify ?budget ?journal
+    ?journal_every ~net ~prop path =
+  match
+    let ic = open_in_bin path in
     Fun.protect
-      ~finally:(fun () -> close_in ic)
+      ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data ->
+      restore ~analyzer ~heuristic ?trace ?policy ?certify ?budget ?journal ?journal_every ~net
+        ~prop data
+  | exception Sys_error msg -> Error ("Engine.restore: cannot read checkpoint: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Journal resume: restore from the newest embedded checkpoint, then
+   replay the Step frames after it. *)
+
+type resume_info = {
+  replayed_steps : int;
+  replayed_calls : int;
+  valid_bytes : int;
+  dropped_bytes : int;
+}
+
+(* Re-apply one journaled step's events to an engine restored from the
+   preceding checkpoint.  Replay is pure bookkeeping — no analyzer or LP
+   runs: the journal records what the original run computed, and the
+   tree and frontier evolve exactly as they did live ({!Tree.of_string}
+   restores the id counter, so replayed splits mint the same child ids).
+   Any divergence raises [Failure]: a diverging journal means the config
+   fingerprint lied, and the caller turns it into [Error]. *)
+let replay_events t ~nodes ~budget_overridden events =
+  let fail fmt = Printf.ksprintf (fun s -> failwith ("Engine.resume_journal: " ^ s)) fmt in
+  let find_node id =
+    match Hashtbl.find_opt nodes id with
+    | Some n -> n
+    | None -> fail "journal references unknown node %d" id
   in
-  restore ~analyzer ~heuristic ?trace ?policy ?certify ?budget ~net ~prop data
+  let last_lb = ref neg_infinity in
+  let finish_replayed verdict =
+    let elapsed = Clock.monotonic () -. t.started in
+    t.finished <-
+      Some
+        { verdict; tree = t.tree; stats = stats_of t ~elapsed; artifact = artifact_of t verdict }
+  in
+  List.iter
+    (fun ev ->
+      if t.finished <> None then fail "journal has events after the terminal verdict"
+      else
+        match ev with
+        | Trace.Dequeued { node; depth = _; frontier } ->
+            let now = Frontier.length t.frontier in
+            if now <> frontier then
+              fail "frontier length diverged at node %d (journal %d, engine %d)" node frontier
+                now;
+            t.steps <- t.steps + 1;
+            t.max_frontier <- max t.max_frontier now;
+            (match Frontier.pop t.frontier with
+            | None -> fail "journal dequeues node %d from an empty frontier" node
+            | Some n ->
+                if Tree.node_id n <> node then
+                  fail "frontier order diverged (journal dequeued %d, engine popped %d)" node
+                    (Tree.node_id n);
+                t.max_depth <- max t.max_depth (List.length (Tree.path_decisions n)))
+        | Trace.Analyzed { node; status = _; lb; seconds } ->
+            t.calls <- t.calls + 1;
+            t.analyzer_seconds <- t.analyzer_seconds +. seconds;
+            Tree.set_lb (find_node node) lb;
+            last_lb := lb
+        | Trace.Lp_solved { warm_hits; warm_misses; cold_solves; pivots; node = _ } ->
+            t.lp_warm_hits <- t.lp_warm_hits + warm_hits;
+            t.lp_warm_misses <- t.lp_warm_misses + warm_misses;
+            t.lp_cold_solves <- t.lp_cold_solves + cold_solves;
+            t.lp_pivots <- t.lp_pivots + pivots
+        | Trace.Split { node; decision; left; right } ->
+            let n = find_node node in
+            let l, r = Tree.split t.tree n decision in
+            if Tree.node_id l <> left || Tree.node_id r <> right then
+              fail "replayed split of node %d minted ids %d/%d where the journal recorded %d/%d"
+                node (Tree.node_id l) (Tree.node_id r) left right;
+            Hashtbl.replace nodes left l;
+            Hashtbl.replace nodes right r;
+            t.branchings <- t.branchings + 1;
+            Frontier.push t.frontier ~priority:!last_lb l;
+            Frontier.push t.frontier ~priority:!last_lb r
+        | Trace.Pruned _ -> fail "unexpected pruner event in an engine journal"
+        | Trace.Stuck _ -> t.heuristic_failures <- t.heuristic_failures + 1
+        | Trace.Retried _ -> incr t.retries
+        | Trace.Fallback _ -> incr t.fallback_bounds
+        | Trace.Absorbed _ -> incr t.faults_absorbed
+        | Trace.Certified { kind; node = _ } ->
+            if kind = "unavailable" then t.certs_unavailable <- t.certs_unavailable + 1
+            else t.certs_emitted <- t.certs_emitted + 1
+        | Trace.Verdict { verdict; calls = _; seconds = _ } -> (
+            match verdict with
+            | "proved" -> finish_replayed Proved
+            | "exhausted" ->
+                if not (budget_overridden && Frontier.length t.frontier > 0) then
+                  finish_replayed Exhausted
+            | "disproved" ->
+                (* Unreachable: terminal disproved steps are dropped
+                   before replay (the event does not carry the
+                   counterexample vector) and redone live. *)
+                fail "disproved verdict in replay"
+            | v -> fail "unknown journaled verdict %S" v))
+    events
+
+let resume_journal ~analyzer ~heuristic ?(trace = Trace.null) ?(strategy = Frontier.Fifo)
+    ?check_time_every ?policy ?(certify = false) ?budget ?journal
+    ?(journal_every = default_journal_every) ~net ~prop data =
+  let recovery = Journal.scan data in
+  let records = Journal.last_run recovery.Journal.records in
+  match records with
+  | [] -> Error "Engine.resume_journal: no valid journal frames"
+  | first :: rest -> (
+      match
+        (match first.Journal.kind with
+        | Journal.Header ->
+            let fp = fingerprint ~net ~prop in
+            if first.Journal.payload <> fp then
+              failwith
+                "Engine.resume_journal: config fingerprint mismatch — the journal was written \
+                 for a different network or property"
+        | Journal.Step | Journal.Checkpoint ->
+            failwith "Engine.resume_journal: journal has no run header");
+        (* Newest checkpoint wins; only the Step frames after it replay. *)
+        let ckpt, steps_rev =
+          List.fold_left
+            (fun (ck, steps) r ->
+              match r.Journal.kind with
+              | Journal.Header -> (ck, steps)
+              | Journal.Checkpoint -> (Some r.Journal.payload, [])
+              | Journal.Step -> (ck, r.Journal.payload :: steps))
+            (None, []) rest
+        in
+        let parse_step payload =
+          List.filter_map
+            (fun line -> if String.trim line = "" then None else Some (Trace.event_of_json line))
+            (String.split_on_char '\n' payload)
+        in
+        let steps = List.rev_map parse_step steps_rev in
+        (* A terminal disproved step is dropped, not replayed: the
+           Verdict event lacks the counterexample vector, so the node is
+           left on the frontier and redone live — still at most one node
+           of rework.  (A journal whose final Checkpoint frame landed
+           records the counterexample there instead, and the fold above
+           leaves no steps to replay.) *)
+        let steps =
+          match List.rev steps with
+          | last :: prefix
+            when List.exists
+                   (function Trace.Verdict { verdict = "disproved"; _ } -> true | _ -> false)
+                   last ->
+              List.rev prefix
+          | _ -> steps
+        in
+        let budget_overridden = budget <> None in
+        let t =
+          match ckpt with
+          | Some doc ->
+              restore_exn ~analyzer ~heuristic ~trace ?policy ~certify ?budget ~net ~prop doc
+          | None ->
+              (* Killed before the first checkpoint frame landed: start
+                 fresh (nothing had happened yet). *)
+              create ~analyzer ~heuristic ~strategy ~trace ?budget ?check_time_every ?policy
+                ~certify ~net ~prop ()
+        in
+        let nodes = Hashtbl.create 64 in
+        Tree.iter_nodes t.tree (fun n -> Hashtbl.replace nodes (Tree.node_id n) n);
+        let replayed_calls = ref 0 in
+        List.iter
+          (fun events ->
+            replay_events t ~nodes ~budget_overridden events;
+            List.iter (function Trace.Analyzed _ -> incr replayed_calls | _ -> ()) events)
+          steps;
+        attach_journal t ~fresh_run:false journal journal_every;
+        ( t,
+          {
+            replayed_steps = List.length steps;
+            replayed_calls = !replayed_calls;
+            valid_bytes = recovery.Journal.valid_bytes;
+            dropped_bytes = recovery.Journal.dropped_bytes;
+          } )
+      with
+      | result -> Ok result
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error ("Engine.resume_journal: " ^ msg))
+
+let resume_journal_file ~analyzer ~heuristic ?trace ?strategy ?check_time_every ?policy ?certify
+    ?budget ?journal ?journal_every ~net ~prop path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data ->
+      resume_journal ~analyzer ~heuristic ?trace ?strategy ?check_time_every ?policy ?certify
+        ?budget ?journal ?journal_every ~net ~prop data
+  | exception Sys_error msg -> Error ("Engine.resume_journal: cannot read journal: " ^ msg)

@@ -23,6 +23,10 @@ type budget = {
 val default_budget : budget
 (** 10_000 analyzer calls, no time limit. *)
 
+val default_journal_every : int
+(** Steps between journal Checkpoint frames (32) — the default bound on
+    how many Step frames a resume must replay. *)
+
 type stats = {
   analyzer_calls : int;  (** bounding steps (the paper's Cost metric) *)
   branchings : int;  (** node branchings *)
@@ -91,6 +95,8 @@ val create :
   ?check_time_every:int ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?certify:bool ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
   ?initial_tree:Ivan_spectree.Tree.t ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
@@ -111,6 +117,17 @@ val create :
     Even without a policy the engine absorbs non-fatal analyzer
     exceptions, turning the node into an [Unknown] outcome rather than
     crashing the run.
+
+    [journal], when supplied, turns on write-ahead journaling: a Header
+    frame with the run's config fingerprint is appended immediately,
+    then each completed step appends exactly one Step frame (the step's
+    trace events as JSONL — atomic, so a kill never journals half a
+    step), and every [journal_every] (default
+    {!default_journal_every}) steps — plus the terminal step — a
+    Checkpoint frame folds the whole prefix.  A killed run resumes from
+    its journal via {!resume_journal} with at most one node of rework.
+    Events produced while a journal is attached still reach [trace]
+    unchanged.
 
     [certify] (default false) collects a proof certificate for every
     verified leaf: the analyzer's LP evidence (pass an analyzer built
@@ -182,10 +199,12 @@ val restore :
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?certify:bool ->
   ?budget:budget ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   string ->
-  t
+  (t, string) result
 (** Rebuild an engine from a {!checkpoint} document.  [budget] overrides
     the recorded budget (e.g. to grant a resumed run more time); all
     other recorded state — strategy, counters, frontier, tree — is taken
@@ -193,6 +212,15 @@ val restore :
     exception: an [Exhausted] checkpoint restored with an overriding
     [budget] and a non-empty frontier resumes the search, so a run that
     ran out of budget can be granted more and continued.
+
+    A truncated, corrupt or otherwise malformed document — and a
+    [net]/[prop] pair that does not match it — yields [Error] with a
+    diagnostic message; no parse exception escapes.
+
+    [journal], when supplied, attaches write-ahead journaling to the
+    restored engine (see {!create}); a Header frame is written only if
+    the sink is empty, so restoring into an existing journal continues
+    its current run.
 
     [certify] (default false) re-enables certificate collection on the
     restored engine, but note that leaf certificates are {e not} part of
@@ -202,9 +230,7 @@ val restore :
     those leaves reported missing — certification honestly requires an
     uninterrupted run.  Version-1 and version-2 checkpoints (predating
     the warm-start and certificate counters respectively) restore with
-    the missing counters zeroed.
-    @raise Failure on a malformed document.
-    @raise Invalid_argument if [net]/[prop] do not match each other. *)
+    the missing counters zeroed. *)
 
 val restore_from_file :
   analyzer:Ivan_analyzer.Analyzer.t ->
@@ -213,8 +239,87 @@ val restore_from_file :
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?certify:bool ->
   ?budget:budget ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   string ->
-  t
-(** {!restore} reading the document from a file path. *)
+  (t, string) result
+(** {!restore} reading the document from a file path; [Error] also when
+    the file cannot be read. *)
+
+(** {2 Journal resume}
+
+    Recovery after a kill: {!Ivan_resilience.Journal.scan} truncates the
+    journal to its valid frame prefix, the engine restores from the
+    newest embedded Checkpoint frame, and the Step frames recorded after
+    it replay as pure bookkeeping — no analyzer or LP calls; the tree,
+    frontier and counters evolve exactly as the original run's trace
+    says they did.  Work is lost only for the step that was in flight
+    when the process died (its Step frame never landed), so rework is
+    bounded by one node. *)
+
+type resume_info = {
+  replayed_steps : int;  (** Step frames replayed onto the checkpoint *)
+  replayed_calls : int;  (** analyzer calls those steps recorded *)
+  valid_bytes : int;  (** journal prefix accepted by recovery *)
+  dropped_bytes : int;  (** torn / corrupt tail bytes discarded *)
+}
+
+val resume_journal :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Heuristic.t ->
+  ?trace:Trace.sink ->
+  ?strategy:Frontier.strategy ->
+  ?check_time_every:int ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
+  ?budget:budget ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  string ->
+  (t * resume_info, string) result
+(** Rebuild an engine from raw journal bytes (the newest run in the
+    journal, per {!Ivan_resilience.Journal.last_run}).  The journal's
+    Header fingerprint must match [net]/[prop] — resuming against the
+    wrong problem is an [Error], as is any replay divergence, so a stale
+    journal can never silently corrupt a verdict.  [strategy] and
+    [check_time_every] only apply when the journal died before its first
+    Checkpoint frame landed (the run is started fresh); otherwise the
+    checkpoint's recorded values win.  [budget] overrides as in
+    {!restore}.
+
+    A terminal [Disproved] step whose Checkpoint frame never landed is
+    redone live rather than replayed (the journaled verdict event does
+    not carry the counterexample vector) — the one case where resume
+    re-runs the analyzer, still within the one-node rework bound.
+
+    [journal], when supplied, continues journaling: into the same file
+    (the journal is rewritten compacted — Header, then a Checkpoint of
+    the resumed state) or a fresh one. *)
+
+val resume_journal_file :
+  analyzer:Ivan_analyzer.Analyzer.t ->
+  heuristic:Heuristic.t ->
+  ?trace:Trace.sink ->
+  ?strategy:Frontier.strategy ->
+  ?check_time_every:int ->
+  ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?certify:bool ->
+  ?budget:budget ->
+  ?journal:Ivan_resilience.Journal.writer ->
+  ?journal_every:int ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  string ->
+  (t * resume_info, string) result
+(** {!resume_journal} reading the journal from a file path.  Read the
+    old journal fully before opening the same path as the new [journal]
+    sink — {!Ivan_resilience.Journal.open_file} truncates. *)
+
+val fingerprint : net:Ivan_nn.Network.t -> prop:Ivan_spec.Prop.t -> string
+(** The config digest stored in journal Header frames: an MD5 hex digest
+    over the serialized network and the property's box, coefficients and
+    offset. *)

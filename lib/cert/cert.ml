@@ -433,6 +433,13 @@ module Artifact = struct
     let tokens s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
     let float_tok t = try float_of_string t with _ -> fail "bad float token %S" t in
     let int_tok t = try int_of_string t with _ -> fail "bad integer token %S" t in
+    (* Counts drive allocations; a corrupt count must be a parse error,
+       not an attempted giga-element array. *)
+    let count_tok t =
+      let n = int_tok t in
+      if n < 0 || n > 1_000_000 then fail "count %d out of range" n;
+      n
+    in
     let floats_exactly n s =
       let fs = List.map float_tok (tokens s) in
       if List.length fs <> n then fail "expected %d floats, got %d" n (List.length fs);
@@ -441,7 +448,7 @@ module Artifact = struct
     let counted_floats s =
       match tokens s with
       | n :: rest ->
-          let n = int_tok n in
+          let n = count_tok n in
           let fs = List.map float_tok rest in
           if List.length fs <> n then fail "expected %d floats, got %d" n (List.length fs);
           Array.of_list fs
@@ -460,7 +467,7 @@ module Artifact = struct
     let name = quoted (field "name") in
     let offset = float_tok (field "offset") in
     let c = counted_floats (field "c") in
-    let d = int_tok (field "box") in
+    let d = count_tok (field "box") in
     let lo = floats_exactly d (field "lo") in
     let hi = floats_exactly d (field "hi") in
     let verdict =
@@ -472,9 +479,9 @@ module Artifact = struct
           Disproved (Array.of_list x)
       | _ -> fail "bad verdict line"
     in
-    let net = try Serialize.of_string (block (int_tok (field "net"))) with Failure e -> fail "embedded network: %s" e in
-    let tree = try Tree.of_string (block (int_tok (field "tree"))) with Failure e -> fail "embedded tree: %s" e in
-    let nleaves = int_tok (field "leaves") in
+    let net = try Serialize.of_string (block (count_tok (field "net"))) with Failure e -> fail "embedded network: %s" e in
+    let tree = try Tree.of_string (block (count_tok (field "tree"))) with Failure e -> fail "embedded tree: %s" e in
+    let nleaves = count_tok (field "leaves") in
     let leaves = ref [] in
     for _ = 1 to nleaves do
       let node = int_tok (field "leaf") in
@@ -483,7 +490,7 @@ module Artifact = struct
       let witness =
         match tokens (field "witness") with
         | kind :: n :: rest ->
-            let n = int_tok n in
+            let n = count_tok n in
             let y = List.map float_tok rest in
             if List.length y <> n then fail "witness length mismatch on leaf %d" node;
             let y = Array.of_list y in
@@ -495,7 +502,7 @@ module Artifact = struct
       in
       let nvars, nrows =
         match tokens (field "snapshot") with
-        | [ nv; nr ] -> (int_tok nv, int_tok nr)
+        | [ nv; nr ] -> (count_tok nv, count_tok nr)
         | _ -> fail "bad snapshot line on leaf %d" node
       in
       let obj = floats_exactly nvars (field "obj") in
@@ -512,7 +519,7 @@ module Artifact = struct
                   | "eq" -> Lp.Eq
                   | c -> fail "unknown row comparison %S" c
                 in
-                let nnz = int_tok nnz in
+                let nnz = count_tok nnz in
                 if List.length rest <> 2 * nnz then fail "row token count mismatch on leaf %d" node;
                 let rest = Array.of_list rest in
                 let idx = Array.init nnz (fun k -> int_tok rest.(k)) in

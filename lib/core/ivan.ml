@@ -17,6 +17,7 @@ type config = {
   strategy : Ivan_bab.Frontier.strategy;
   policy : Ivan_analyzer.Analyzer.policy;
   certify : bool;
+  journal : Ivan_resilience.Journal.writer option;
 }
 
 let default_config =
@@ -28,35 +29,37 @@ let default_config =
     strategy = Ivan_bab.Frontier.Fifo;
     policy = Ivan_analyzer.Analyzer.default_policy;
     certify = false;
+    journal = None;
   }
 
 let verify_original ~analyzer ~heuristic ?(budget = Bab.default_budget)
     ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Ivan_analyzer.Analyzer.default_policy)
-    ?(certify = false) ~net ~prop () =
-  Bab.verify ~analyzer ~heuristic ~strategy ~budget ~policy ~certify ~net ~prop ()
+    ?(certify = false) ?journal ~net ~prop () =
+  Bab.verify ~analyzer ~heuristic ~strategy ~budget ~policy ~certify ?journal ~net ~prop ()
 
 let verify_updated_with_tree ~analyzer ~heuristic ~config ~original_tree ~updated ~prop =
   let strategy = config.strategy in
   let policy = config.policy in
   let certify = config.certify in
+  let journal = config.journal in
   let hdelta () =
     let observed = Effectiveness.observe original_tree in
     Hdelta.make ~base:heuristic ~observed ~alpha:config.alpha ~theta:config.theta
   in
   match config.technique with
   | Baseline ->
-      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy ~certify ~net:updated
-        ~prop ()
+      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy ~certify ?journal
+        ~net:updated ~prop ()
   | Reuse ->
-      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy ~certify
+      Bab.verify ~analyzer ~heuristic ~strategy ~budget:config.budget ~policy ~certify ?journal
         ~initial_tree:original_tree ~net:updated ~prop ()
   | Reorder ->
       Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget ~policy ~certify
-        ~net:updated ~prop ()
+        ?journal ~net:updated ~prop ()
   | Full ->
       let pruned = Prune.prune ~theta:config.theta original_tree in
       Bab.verify ~analyzer ~heuristic:(hdelta ()) ~strategy ~budget:config.budget ~policy ~certify
-        ~initial_tree:pruned ~net:updated ~prop ()
+        ?journal ~initial_tree:pruned ~net:updated ~prop ()
 
 let verify_updated ~analyzer ~heuristic ~config ~original_run ~updated ~prop =
   verify_updated_with_tree ~analyzer ~heuristic ~config ~original_tree:original_run.Bab.tree

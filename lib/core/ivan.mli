@@ -30,13 +30,18 @@ type config = {
       (** collect exact-checked proof certificates on every BaB run this
           config drives (see {!Ivan_bab.Bab.verify}); pair with an
           analyzer built with its matching [certify] flag *)
+  journal : Ivan_resilience.Journal.writer option;
+      (** write-ahead journal sink shared by every BaB run this config
+          drives — successive runs append under their own Header frames,
+          and {!Ivan_resilience.Journal.last_run} recovers the newest
+          one after a crash (see {!Ivan_bab.Engine.resume_journal}) *)
 }
 
 val default_config : config
 (** [Full] with [alpha = 0.25], [theta = 0.01] (the best cell of the
     paper's Figure 8 sweep), the default BaB budget, the [Fifo]
-    frontier, {!Ivan_analyzer.Analyzer.default_policy} and certification
-    off. *)
+    frontier, {!Ivan_analyzer.Analyzer.default_policy}, certification
+    off and no journal. *)
 
 val verify_original :
   analyzer:Ivan_analyzer.Analyzer.t ->
@@ -45,6 +50,7 @@ val verify_original :
   ?strategy:Ivan_bab.Frontier.strategy ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?certify:bool ->
+  ?journal:Ivan_resilience.Journal.writer ->
   net:Ivan_nn.Network.t ->
   prop:Ivan_spec.Prop.t ->
   unit ->

@@ -264,6 +264,7 @@ let fig8 ctx fmt =
               strategy = setting.Runner.strategy;
               policy = setting.Runner.policy;
               certify = setting.Runner.certify;
+              journal = None;
             }
           in
           let _run, tech_time =

@@ -2,6 +2,7 @@ module Analyzer = Ivan_analyzer.Analyzer
 module Heuristic = Ivan_bab.Heuristic
 module Bab = Ivan_bab.Bab
 module Ivan = Ivan_core.Ivan
+module Journal = Ivan_resilience.Journal
 
 type setting = {
   analyzer : Analyzer.t;
@@ -10,11 +11,12 @@ type setting = {
   strategy : Ivan_bab.Frontier.strategy;
   policy : Analyzer.policy;
   certify : bool;
+  journal_dir : string option;
 }
 
 let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 30.0 })
     ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) ?(lp_warm = true)
-    ?(certify = false) () =
+    ?(certify = false) ?journal_dir () =
   {
     analyzer = Analyzer.lp_triangle ~warm:lp_warm ~certify ();
     heuristic = Heuristic.zono_coeff;
@@ -22,10 +24,11 @@ let classifier_setting ?(budget = { Bab.max_analyzer_calls = 400; max_seconds = 
     strategy;
     policy;
     certify;
+    journal_dir;
   }
 
 let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 })
-    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) () =
+    ?(strategy = Ivan_bab.Frontier.Fifo) ?(policy = Analyzer.default_policy) ?journal_dir () =
   {
     analyzer = Analyzer.zonotope ();
     heuristic = Heuristic.input_smear;
@@ -33,7 +36,23 @@ let acas_setting ?(budget = { Bab.max_analyzer_calls = 3000; max_seconds = 60.0 
     strategy;
     policy;
     certify = false;
+    journal_dir;
   }
+
+(* One journal file per (instance, phase): crash recovery needs to know
+   which run the surviving bytes belong to, and parallel instances must
+   never share a sink. *)
+let with_journal setting ~(instance : Workload.instance) ~phase f =
+  match setting.journal_dir with
+  | None -> f None
+  | Some dir ->
+      (if not (Sys.file_exists dir) then
+         try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path =
+        Filename.concat dir (Printf.sprintf "instance-%d-%s.wal" instance.Workload.id phase)
+      in
+      let w = Journal.open_file path in
+      Fun.protect ~finally:(fun () -> Journal.close w) (fun () -> f (Some w))
 
 type measurement = {
   verdict : Bab.verdict;
@@ -76,37 +95,41 @@ let measure_of_run (run : Bab.run) seconds =
 let run_instance setting ~net ~updated ~techniques ~alpha ~theta (instance : Workload.instance) =
   let prop = instance.Workload.prop in
   let original_run, original_time =
-    Clock.timed (fun () ->
-        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
-          ~certify:setting.certify ~net ~prop ())
+    with_journal setting ~instance ~phase:"original" (fun journal ->
+        Clock.timed (fun () ->
+            Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
+              ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
+              ~certify:setting.certify ?journal ~net ~prop ()))
   in
   let baseline_run, baseline_time =
-    Clock.timed (fun () ->
-        Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
-          ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
-          ~certify:setting.certify ~net:updated ~prop ())
+    with_journal setting ~instance ~phase:"baseline" (fun journal ->
+        Clock.timed (fun () ->
+            Bab.verify ~analyzer:setting.analyzer ~heuristic:setting.heuristic
+              ~strategy:setting.strategy ~budget:setting.budget ~policy:setting.policy
+              ~certify:setting.certify ?journal ~net:updated ~prop ()))
   in
   let technique_runs =
     List.map
       (fun technique ->
-        let config =
-          {
-            Ivan.technique;
-            alpha;
-            theta;
-            budget = setting.budget;
-            strategy = setting.strategy;
-            policy = setting.policy;
-            certify = setting.certify;
-          }
-        in
-        let run, seconds =
-          Clock.timed (fun () ->
-              Ivan.verify_updated ~analyzer:setting.analyzer ~heuristic:setting.heuristic ~config
-                ~original_run ~updated ~prop)
-        in
-        (technique, measure_of_run run seconds))
+        with_journal setting ~instance ~phase:(Ivan.technique_name technique) (fun journal ->
+            let config =
+              {
+                Ivan.technique;
+                alpha;
+                theta;
+                budget = setting.budget;
+                strategy = setting.strategy;
+                policy = setting.policy;
+                certify = setting.certify;
+                journal;
+              }
+            in
+            let run, seconds =
+              Clock.timed (fun () ->
+                  Ivan.verify_updated ~analyzer:setting.analyzer ~heuristic:setting.heuristic
+                    ~config ~original_run ~updated ~prop)
+            in
+            (technique, measure_of_run run seconds)))
       techniques
   in
   {

@@ -21,6 +21,14 @@ type setting = {
       (** collect exact-checked proof certificates on every BaB run of
           the setting; the analyzer must be built with its matching
           [certify] flag ({!classifier_setting} does this itself) *)
+  journal_dir : string option;
+      (** when set, every BaB run journals to
+          [<dir>/instance-<id>-<phase>.wal] (phases: [original],
+          [baseline], one per technique name) — one file per run, so
+          parallel instances never share a sink and a crash leaves an
+          unambiguous journal to resume from
+          ({!Ivan_bab.Engine.resume_journal_file}).  The directory is
+          created if missing (one level). *)
 }
 
 val classifier_setting :
@@ -29,6 +37,7 @@ val classifier_setting :
   ?policy:Ivan_analyzer.Analyzer.policy ->
   ?lp_warm:bool ->
   ?certify:bool ->
+  ?journal_dir:string ->
   unit ->
   setting
 (** LP triangle analyzer + zonotope-coefficient ReLU splitting (the
@@ -46,6 +55,7 @@ val acas_setting :
   ?budget:Ivan_bab.Bab.budget ->
   ?strategy:Ivan_bab.Frontier.strategy ->
   ?policy:Ivan_analyzer.Analyzer.policy ->
+  ?journal_dir:string ->
   unit ->
   setting
 (** Zonotope analyzer + smear input splitting (§6.4 stack).  Default

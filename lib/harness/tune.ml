@@ -41,6 +41,7 @@ let search ?(trials = 20) ?(seed = 20240705) ~setting ~technique ~net ~updated i
               strategy = setting.Runner.strategy;
               policy = setting.Runner.policy;
               certify = setting.Runner.certify;
+              journal = None;
             }
           in
           let _run, tech_time =

@@ -15,8 +15,23 @@ let activation_of_name s =
   | "tanh" -> Layer.Tanh
   | _ -> (
       match String.split_on_char ':' s with
-      | [ "leaky"; slope ] -> Layer.Leaky_relu (float_of_string slope)
+      | [ "leaky"; slope ] -> (
+          match float_of_string_opt slope with
+          | Some v -> Layer.Leaky_relu v
+          | None -> failwith (Printf.sprintf "Serialize: bad leaky slope %S" slope))
       | _ -> failwith (Printf.sprintf "Serialize: unknown activation %S" s))
+
+(* Caps on parsed counts: a corrupt or hostile file must fail with a
+   parse error, not an attempted multi-gigabyte allocation. *)
+let max_layers = 100_000
+let max_dim = 1_000_000
+
+let bounded_int what ~cap s =
+  match int_of_string_opt s with
+  | None -> failwith (Printf.sprintf "Serialize: bad %s %S" what s)
+  | Some v when v < 0 || v > cap ->
+      failwith (Printf.sprintf "Serialize: %s %d out of range [0, %d]" what v cap)
+  | Some v -> v
 
 let floats_line prefix values =
   let buf = Buffer.create (16 * Array.length values) in
@@ -31,7 +46,13 @@ let floats_line prefix values =
 let parse_floats_line expected_prefix line =
   match String.split_on_char ' ' (String.trim line) with
   | prefix :: rest when prefix = expected_prefix ->
-      Array.of_list (List.map (fun s -> float_of_string s) rest)
+      Array.of_list
+        (List.map
+           (fun s ->
+             match float_of_string_opt s with
+             | Some v -> v
+             | None -> failwith (Printf.sprintf "Serialize: bad float token %S" s))
+           rest)
   | _ -> failwith (Printf.sprintf "Serialize: expected %S line, got %S" expected_prefix line)
 
 let to_string n =
@@ -64,7 +85,7 @@ let to_string n =
     layers;
   Buffer.contents buf
 
-let of_string s =
+let of_string_exn s =
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
   let lines = ref lines in
   let next () =
@@ -77,14 +98,15 @@ let of_string s =
   let header = next () in
   let count =
     match String.split_on_char ' ' header with
-    | [ "network"; c ] -> int_of_string c
+    | [ "network"; c ] -> bounded_int "layer count" ~cap:max_layers c
     | _ -> failwith (Printf.sprintf "Serialize: bad header %S" header)
   in
   let parse_layer () =
     let decl = next () in
     match String.split_on_char ' ' decl with
     | [ "layer"; "dense"; rows; cols; act ] ->
-        let rows = int_of_string rows and cols = int_of_string cols in
+        let rows = bounded_int "dense rows" ~cap:max_dim rows
+        and cols = bounded_int "dense cols" ~cap:max_dim cols in
         let bias = parse_floats_line "bias:" (next ()) in
         let weight_rows = Array.init rows (fun _ -> parse_floats_line "row:" (next ())) in
         Array.iter
@@ -95,16 +117,17 @@ let of_string s =
           (Layer.Dense { weights = Mat.of_arrays weight_rows; bias })
           (activation_of_name act)
     | [ "layer"; "conv"; in_c; in_h; in_w; out_c; kh; kw; stride; pad; act ] ->
+        let dim what s = bounded_int what ~cap:max_dim s in
         let spec =
           {
-            Layer.in_channels = int_of_string in_c;
-            in_height = int_of_string in_h;
-            in_width = int_of_string in_w;
-            out_channels = int_of_string out_c;
-            kernel_h = int_of_string kh;
-            kernel_w = int_of_string kw;
-            stride = int_of_string stride;
-            padding = int_of_string pad;
+            Layer.in_channels = dim "conv in_channels" in_c;
+            in_height = dim "conv in_height" in_h;
+            in_width = dim "conv in_width" in_w;
+            out_channels = dim "conv out_channels" out_c;
+            kernel_h = dim "conv kernel_h" kh;
+            kernel_w = dim "conv kernel_w" kw;
+            stride = dim "conv stride" stride;
+            padding = dim "conv padding" pad;
           }
         in
         let bias = parse_floats_line "bias:" (next ()) in
@@ -113,6 +136,13 @@ let of_string s =
     | _ -> failwith (Printf.sprintf "Serialize: bad layer declaration %S" decl)
   in
   Network.make (List.init count (fun _ -> parse_layer ()))
+
+let of_string s =
+  (* Constructor sanity checks (ragged matrices, bias length, conv
+     geometry, empty networks) raise Invalid_argument; a parser must
+     report them as parse failures, not let them escape untyped. *)
+  try of_string_exn s
+  with Invalid_argument msg -> failwith ("Serialize: invalid network: " ^ msg)
 
 let to_file path n =
   let oc = open_out path in

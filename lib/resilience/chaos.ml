@@ -1,0 +1,277 @@
+module Engine = Ivan_bab.Engine
+module Frontier = Ivan_bab.Frontier
+module Analyzer = Ivan_analyzer.Analyzer
+module Journal = Ivan_resilience.Journal
+
+type workload = {
+  name : string;
+  net : Ivan_nn.Network.t;
+  prop : Ivan_spec.Prop.t;
+  analyzer : unit -> Analyzer.t;
+  heuristic : Ivan_bab.Heuristic.t;
+  strategy : Frontier.strategy;
+  policy : Analyzer.policy option;
+  certify : bool;
+  budget : Engine.budget;
+  journal_every : int;
+  compare_lp : bool;
+}
+
+let workload ~name ~net ~prop ~analyzer ~heuristic ?(strategy = Frontier.Fifo) ?policy
+    ?(certify = false) ?(budget = Engine.default_budget) ?(journal_every = 4)
+    ?(compare_lp = true) () =
+  { name; net; prop; analyzer; heuristic; strategy; policy; certify; budget; journal_every;
+    compare_lp }
+
+type golden = { run : Engine.run; journal : string; boundaries : (int * int) list }
+
+(* The clean reference run.  The journal writer's [emit] snoops every
+   append: the byte offset of the frame's end and the engine's
+   analyzer-call counter at that instant, which is exactly the state a
+   process killed right after that append would have persisted. *)
+let golden w =
+  let buf = Buffer.create 4096 in
+  let boundaries = ref [] in
+  let eng = ref None in
+  let jw =
+    Journal.create
+      ~emit:(fun s ->
+        Buffer.add_string buf s;
+        let calls = match !eng with None -> 0 | Some e -> Engine.calls e in
+        boundaries := (Buffer.length buf, calls) :: !boundaries)
+      ()
+  in
+  let e =
+    Engine.create ~analyzer:(w.analyzer ()) ~heuristic:w.heuristic ~strategy:w.strategy
+      ?policy:w.policy ~certify:w.certify ~budget:w.budget ~journal:jw
+      ~journal_every:w.journal_every ~net:w.net ~prop:w.prop ()
+  in
+  eng := Some e;
+  let run = Engine.run e in
+  { run; journal = Buffer.contents buf; boundaries = List.rev !boundaries }
+
+type failure = { workload : string; schedule : string; reason : string }
+
+type report = {
+  workloads : int;
+  schedules : int;
+  resumed : int;
+  fresh_restarts : int;
+  reworked_nodes : int;
+  failures : failure list;
+}
+
+let empty_report =
+  { workloads = 0; schedules = 0; resumed = 0; fresh_restarts = 0; reworked_nodes = 0;
+    failures = [] }
+
+let merge a b =
+  {
+    workloads = a.workloads + b.workloads;
+    schedules = a.schedules + b.schedules;
+    resumed = a.resumed + b.resumed;
+    fresh_restarts = a.fresh_restarts + b.fresh_restarts;
+    reworked_nodes = a.reworked_nodes + b.reworked_nodes;
+    failures = a.failures @ b.failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence *)
+
+let verdict_name = function
+  | Engine.Proved -> "proved"
+  | Engine.Disproved _ -> "disproved"
+  | Engine.Exhausted -> "exhausted"
+
+let compare_runs w (g : Engine.run) (r : Engine.run) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (match (g.Engine.verdict, r.Engine.verdict) with
+  | Engine.Proved, Engine.Proved | Engine.Exhausted, Engine.Exhausted -> ()
+  | Engine.Disproved x, Engine.Disproved y ->
+      if x <> y then err "counterexample vectors differ"
+  | gv, rv -> err "verdict: golden %s, resumed %s" (verdict_name gv) (verdict_name rv));
+  let gs = g.Engine.stats and rs = r.Engine.stats in
+  let chk name a b = if a <> b then err "%s: golden %d, resumed %d" name a b in
+  chk "analyzer_calls" gs.Engine.analyzer_calls rs.Engine.analyzer_calls;
+  chk "branchings" gs.Engine.branchings rs.Engine.branchings;
+  chk "tree_size" gs.Engine.tree_size rs.Engine.tree_size;
+  chk "tree_leaves" gs.Engine.tree_leaves rs.Engine.tree_leaves;
+  chk "max_frontier" gs.Engine.max_frontier rs.Engine.max_frontier;
+  chk "max_depth" gs.Engine.max_depth rs.Engine.max_depth;
+  chk "heuristic_failures" gs.Engine.heuristic_failures rs.Engine.heuristic_failures;
+  chk "retries" gs.Engine.retries rs.Engine.retries;
+  chk "fallback_bounds" gs.Engine.fallback_bounds rs.Engine.fallback_bounds;
+  chk "faults_absorbed" gs.Engine.faults_absorbed rs.Engine.faults_absorbed;
+  chk "certs_emitted" gs.Engine.certs_emitted rs.Engine.certs_emitted;
+  chk "certs_unavailable" gs.Engine.certs_unavailable rs.Engine.certs_unavailable;
+  if w.compare_lp then begin
+    chk "lp_warm_hits" gs.Engine.lp_warm_hits rs.Engine.lp_warm_hits;
+    chk "lp_warm_misses" gs.Engine.lp_warm_misses rs.Engine.lp_warm_misses;
+    chk "lp_cold_solves" gs.Engine.lp_cold_solves rs.Engine.lp_cold_solves;
+    chk "lp_pivots" gs.Engine.lp_pivots rs.Engine.lp_pivots
+  end;
+  (* Certificate equivalence is stats-compatible: the counters above
+     must match exactly, and the artifact must agree in presence and
+     verdict.  A resumed Proved artifact can carry fewer leaf
+     certificates (leaf tables are not journaled), never more. *)
+  (match (g.Engine.artifact, r.Engine.artifact) with
+  | None, None -> ()
+  | Some _, None -> err "artifact: golden has one, resumed does not"
+  | None, Some _ -> err "artifact: resumed has one, golden does not"
+  | Some ga, Some ra ->
+      let open Ivan_cert.Cert.Artifact in
+      (match (ga.verdict, ra.verdict) with
+      | Proved, Proved -> ()
+      | Disproved x, Disproved y -> if x <> y then err "artifact counterexamples differ"
+      | _ -> err "artifact verdict kinds differ");
+      if List.length ra.leaves > List.length ga.leaves then
+        err "resumed artifact has more leaf certificates than golden");
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Trials *)
+
+let fresh_run w =
+  Engine.run
+    (Engine.create ~analyzer:(w.analyzer ()) ~heuristic:w.heuristic ~strategy:w.strategy
+       ?policy:w.policy ~certify:w.certify ~budget:w.budget ~net:w.net ~prop:w.prop ())
+
+let resume ?journal w bytes =
+  Engine.resume_journal ~analyzer:(w.analyzer ()) ~heuristic:w.heuristic ~strategy:w.strategy
+    ?policy:w.policy ~certify:w.certify ?journal ~journal_every:w.journal_every ~net:w.net
+    ~prop:w.prop bytes
+
+(* The analyzer calls a process killed right after writing [valid_bytes]
+   had durably recorded: the counter snapshot at the last boundary
+   inside the surviving prefix. *)
+let calls_at g valid_bytes =
+  List.fold_left (fun acc (off, calls) -> if off <= valid_bytes then calls else acc) 0
+    g.boundaries
+
+(* One simulated kill: resume from [bytes], finish, compare.  Returns
+   (mismatches, resumed?, reworked nodes). *)
+let trial w g bytes =
+  let prefix = Journal.scan bytes in
+  let has_checkpoint =
+    List.exists (fun r -> r.Journal.kind = Journal.Checkpoint) prefix.Journal.records
+  in
+  if not has_checkpoint then
+    (* Nothing actionable survived (at most a Header): the only honest
+       recovery is to start over, which must still reach the golden
+       verdict. *)
+    (compare_runs w g.run (fresh_run w), false, 0)
+  else
+    match resume w bytes with
+    | Error msg -> ([ Printf.sprintf "resume failed: %s" msg ], false, 0)
+    | Ok (e, info) ->
+        let at_resume = Engine.calls e in
+        let durable = calls_at g info.Engine.valid_bytes in
+        (* Rework: calls the journal had durably recorded but the
+           resumed engine will redo.  The only admissible case is the
+           terminal disproved step, whose frame is dropped on replay. *)
+        let rework = durable - at_resume in
+        let errs = ref [] in
+        if rework < 0 then
+          errs :=
+            Printf.sprintf "resumed engine claims %d calls, journal only recorded %d" at_resume
+              durable
+            :: !errs;
+        if rework > 1 then
+          errs := Printf.sprintf "rework of %d nodes exceeds the one-node bound" rework :: !errs;
+        let run = Engine.run e in
+        ((!errs @ compare_runs w g.run run : string list), true, max 0 rework)
+
+(* Kill, resume into a second journal, kill that mid-run, resume again:
+   recovery must compose. *)
+let double_kill_trial w g =
+  let n = List.length g.boundaries in
+  if n < 2 then ([], false, 0)
+  else
+    let k1 = max 1 (n / 3) in
+    let bytes1 = String.sub g.journal 0 (fst (List.nth g.boundaries (k1 - 1))) in
+    if
+      not
+        (List.exists
+           (fun r -> r.Journal.kind = Journal.Checkpoint)
+           (Journal.scan bytes1).Journal.records)
+    then ([], false, 0)
+    else
+      let buf2 = Buffer.create 4096 in
+      match resume ~journal:(Journal.to_buffer buf2) w bytes1 with
+      | Error msg -> ([ Printf.sprintf "first resume failed: %s" msg ], false, 0)
+      | Ok (e, _) ->
+          (* Let the resumed run make some progress, then abandon it —
+             the second kill.  Its journal lives on in [buf2]. *)
+          let rec step_n i =
+            if i > 0 then match Engine.step e with Engine.Running -> step_n (i - 1) | _ -> ()
+          in
+          step_n (2 * w.journal_every);
+          let bytes2 = Buffer.contents buf2 in
+          (match resume w bytes2 with
+          | Error msg -> ([ Printf.sprintf "second resume failed: %s" msg ], true, 0)
+          | Ok (e2, _) ->
+              let run = Engine.run e2 in
+              (compare_runs w g.run run, true, 0))
+
+let frame_starts g =
+  let ends = List.map fst g.boundaries in
+  0 :: List.filteri (fun i _ -> i < List.length ends - 1) ends
+
+let run_workload w =
+  let g = golden w in
+  let total = String.length g.journal in
+  let failures = ref [] in
+  let schedules = ref 0 in
+  let resumed_n = ref 0 in
+  let fresh_n = ref 0 in
+  let rework_total = ref 0 in
+  let record schedule (errs, was_resumed, rework) =
+    incr schedules;
+    if was_resumed then incr resumed_n else incr fresh_n;
+    rework_total := !rework_total + rework;
+    List.iter
+      (fun reason -> failures := { workload = w.name; schedule; reason } :: !failures)
+      errs
+  in
+  (* Kill at every append boundary (the last one is the intact journal:
+     resuming a completed run must reproduce its verdict too). *)
+  List.iteri
+    (fun i (off, _) ->
+      record (Printf.sprintf "kill@append-%d" (i + 1)) (trial w g (String.sub g.journal 0 off)))
+    g.boundaries;
+  (* Torn write: every byte offset strictly inside the final frame. *)
+  let last_start = List.fold_left (fun _ s -> s) 0 (frame_starts g) in
+  for cut = last_start + 1 to total - 1 do
+    record (Printf.sprintf "torn@%d" cut) (trial w g (String.sub g.journal 0 cut))
+  done;
+  (* Bit flip: corrupt the first payload byte of every frame — recovery
+     must truncate there, and the resumed run must still agree. *)
+  List.iter
+    (fun start ->
+      if start + 13 < total then begin
+        let b = Bytes.of_string g.journal in
+        Bytes.set b (start + 13) (Char.chr (Char.code (Bytes.get b (start + 13)) lxor 0xFF));
+        record (Printf.sprintf "flip@%d" (start + 13)) (trial w g (Bytes.to_string b))
+      end)
+    (frame_starts g);
+  record "double-kill" (double_kill_trial w g);
+  {
+    workloads = 1;
+    schedules = !schedules;
+    resumed = !resumed_n;
+    fresh_restarts = !fresh_n;
+    reworked_nodes = !rework_total;
+    failures = List.rev !failures;
+  }
+
+let run_matrix ws = List.fold_left (fun acc w -> merge acc (run_workload w)) empty_report ws
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>chaos matrix: %d workloads, %d schedules (%d resumed, %d fresh restarts), %d reworked \
+     nodes, %d failures@]"
+    r.workloads r.schedules r.resumed r.fresh_restarts r.reworked_nodes (List.length r.failures);
+  List.iter
+    (fun f -> Format.fprintf fmt "@,  FAIL %s/%s: %s" f.workload f.schedule f.reason)
+    r.failures

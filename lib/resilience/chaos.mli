@@ -1,0 +1,96 @@
+(** Deterministic kill/resume chaos testing for journaled runs.
+
+    The harness runs a workload once, uninterrupted, journaling into an
+    in-memory buffer while recording every append's byte boundary and
+    the engine's analyzer-call counter at that moment ({!golden}).  A
+    simulated kill is then just a truncation of those golden bytes —
+    journal frames are flushed as they are appended, so the bytes a dead
+    process leaves on disk are exactly a prefix of the golden journal
+    (plus, for a kill mid-write, part of one more frame):
+
+    - {e kill-at-append k}: truncate at the k-th frame boundary;
+    - {e torn write}: truncate inside the final frame, at every byte
+      offset, exercising CRC/length/magic rejection on real data;
+    - {e bit flip}: corrupt one byte of a frame, which must truncate
+      recovery at that frame, never crash it.
+
+    Each schedule resumes from the truncated bytes via
+    [Engine.resume_journal], runs to completion, and asserts against the
+    golden run: identical verdict (including the counterexample vector),
+    identical stats on every deterministic counter, and — the bound the
+    journal exists to provide — at most one node of rework, measured as
+    the gap between the analyzer calls recorded in the surviving prefix
+    and the calls the resumed engine starts from. *)
+
+module Engine = Ivan_bab.Engine
+module Analyzer = Ivan_analyzer.Analyzer
+
+type workload = {
+  name : string;
+  net : Ivan_nn.Network.t;
+  prop : Ivan_spec.Prop.t;
+  analyzer : unit -> Analyzer.t;
+      (** fresh analyzer per run, so no solver state leaks across trials *)
+  heuristic : Ivan_bab.Heuristic.t;
+  strategy : Ivan_bab.Frontier.strategy;
+  policy : Analyzer.policy option;
+  certify : bool;
+  budget : Engine.budget;
+  journal_every : int;
+  compare_lp : bool;
+      (** also assert LP counters (warm-start off / LP-free workloads
+          only: parked bases are not journaled, so a resumed warm run
+          legitimately solves colder) *)
+}
+
+val workload :
+  name:string ->
+  net:Ivan_nn.Network.t ->
+  prop:Ivan_spec.Prop.t ->
+  analyzer:(unit -> Analyzer.t) ->
+  heuristic:Ivan_bab.Heuristic.t ->
+  ?strategy:Ivan_bab.Frontier.strategy ->
+  ?policy:Analyzer.policy ->
+  ?certify:bool ->
+  ?budget:Engine.budget ->
+  ?journal_every:int ->
+  ?compare_lp:bool ->
+  unit ->
+  workload
+(** Defaults: [Fifo], no policy, no certify, default budget,
+    [journal_every = 4] (small, so chaos trials cross checkpoint
+    boundaries often), [compare_lp = true]. *)
+
+type golden = {
+  run : Engine.run;
+  journal : string;  (** the full journal bytes of the clean run *)
+  boundaries : (int * int) list;
+      (** per append, oldest first: (byte offset after the frame,
+          engine analyzer calls at that moment) *)
+}
+
+val golden : workload -> golden
+(** The uninterrupted reference run. *)
+
+type failure = { workload : string; schedule : string; reason : string }
+
+type report = {
+  workloads : int;
+  schedules : int;  (** kill/torn/flip trials executed *)
+  resumed : int;  (** trials that recovered a non-empty journal *)
+  fresh_restarts : int;  (** trials whose journal had no usable frame *)
+  reworked_nodes : int;  (** total nodes re-analyzed across all trials *)
+  failures : failure list;
+}
+
+val run_workload : workload -> report
+(** The full schedule matrix for one workload: a kill at every append
+    boundary, a torn tail at every byte offset of the final frame, a
+    flip of every frame's first payload byte, and a double-kill chain
+    (kill, resume journaling into a fresh journal, kill that one
+    mid-run, resume again). *)
+
+val run_matrix : workload list -> report
+(** {!run_workload} over a suite, with merged counts. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -45,12 +45,13 @@ type plan = {
   lp_rate : float;
   analyzer_rate : float;
   kinds : kind array;
+  at : (int * int, kind) Hashtbl.t;  (** (site tag, call index) -> forced fault *)
   mutable lp_calls : int;
   mutable analyzer_calls : int;
   mutable injected : int;
 }
 
-let plan ?(lp_rate = 0.0) ?(analyzer_rate = 0.0) ?(kinds = all_kinds) ~seed () =
+let plan ?(lp_rate = 0.0) ?(analyzer_rate = 0.0) ?(kinds = all_kinds) ?(at = []) ~seed () =
   let check name r =
     if not (r >= 0.0 && r <= 1.0) then
       invalid_arg (Printf.sprintf "Fault.plan: %s must lie in [0, 1]" name)
@@ -58,11 +59,18 @@ let plan ?(lp_rate = 0.0) ?(analyzer_rate = 0.0) ?(kinds = all_kinds) ~seed () =
   check "lp_rate" lp_rate;
   check "analyzer_rate" analyzer_rate;
   if kinds = [] then invalid_arg "Fault.plan: empty kind list";
+  let schedule = Hashtbl.create (List.length at) in
+  List.iter
+    (fun (site, index, kind) ->
+      if index < 0 then invalid_arg "Fault.plan: negative call index in at";
+      Hashtbl.replace schedule (site_tag site, index) kind)
+    at;
   {
     seed;
     lp_rate;
     analyzer_rate;
     kinds = Array.of_list kinds;
+    at = schedule;
     lp_calls = 0;
     analyzer_calls = 0;
     injected = 0;
@@ -97,11 +105,18 @@ let decide p site =
         n
   in
   let rate = match site with Lp_solve -> p.lp_rate | Analyzer_run -> p.analyzer_rate in
-  if fires p site n rate then begin
-    p.injected <- p.injected + 1;
-    Some (pick_kind p site n)
-  end
-  else None
+  match Hashtbl.find_opt p.at (site_tag site, n) with
+  | Some kind ->
+      (* Explicit schedules trump the seeded rate: "the fault hits
+         exactly the k-th call" is what edge-case tests need. *)
+      p.injected <- p.injected + 1;
+      Some kind
+  | None ->
+      if fires p site n rate then begin
+        p.injected <- p.injected + 1;
+        Some (pick_kind p site n)
+      end
+      else None
 
 (* At the LP boundary only exceptions and latency are expressible: the
    solve hook cannot replace the result, so the bound-corruption kinds

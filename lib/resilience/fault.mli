@@ -46,11 +46,25 @@ type site = Lp_solve | Analyzer_run
 
 type plan
 
-val plan : ?lp_rate:float -> ?analyzer_rate:float -> ?kinds:kind list -> seed:int -> unit -> plan
+val plan :
+  ?lp_rate:float ->
+  ?analyzer_rate:float ->
+  ?kinds:kind list ->
+  ?at:(site * int * kind) list ->
+  seed:int ->
+  unit ->
+  plan
 (** Fresh plan (call counters at zero).  Rates default to [0.0] — no
     injection at that site; [kinds] defaults to {!all_kinds}.
-    @raise Invalid_argument on a rate outside [0, 1] or an empty kind
-    list. *)
+
+    [at] pins faults to exact call indices: [(site, n, kind)] fires
+    [kind] on the [n]-th call (0-based) observed at [site], regardless
+    of the site's rate — the precision edge-case tests need ("the very
+    first LP solve fails", "the fault lands on the last frontier
+    node").  Explicit entries take precedence over the seeded schedule;
+    duplicate [(site, n)] entries keep the last one.
+    @raise Invalid_argument on a rate outside [0, 1], an empty kind
+    list, or a negative call index in [at]. *)
 
 val injected : plan -> int
 (** Faults fired so far. *)

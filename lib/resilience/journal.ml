@@ -1,0 +1,169 @@
+(* Append-only CRC32-framed write-ahead journal.  See the interface for
+   the frame layout and the recovery model. *)
+
+type kind = Header | Step | Checkpoint
+
+let kind_name = function Header -> "header" | Step -> "step" | Checkpoint -> "checkpoint"
+
+let kind_byte = function Header -> 'H' | Step -> 'S' | Checkpoint -> 'C'
+
+let kind_of_byte = function
+  | 'H' -> Some Header
+  | 'S' -> Some Step
+  | 'C' -> Some Checkpoint
+  | _ -> None
+
+type record = { kind : kind; payload : string }
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_extend crc s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let crc32 s = crc32_extend 0l s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let magic = "IVJ1"
+
+(* magic(4) kind(1) len(4) crc(4) *)
+let frame_overhead = 13
+
+(* Refuse lengths that cannot be a real frame: negative (high bit) or
+   absurdly large.  The cap only guards recovery against allocating
+   gigabytes for a corrupt length field; writers never hit it. *)
+let max_payload = 1 lsl 28
+
+let be32 v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (v land 0xFF));
+  Bytes.unsafe_to_string b
+
+let read_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let frame_crc kind payload =
+  (* Cover the kind byte too, so a bit flip in the kind is detected. *)
+  crc32 (String.make 1 (kind_byte kind) ^ payload)
+
+let encode_frame kind payload =
+  let buf = Buffer.create (frame_overhead + String.length payload) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (kind_byte kind);
+  Buffer.add_string buf (be32 (String.length payload));
+  Buffer.add_string buf (be32 (Int32.to_int (frame_crc kind payload) land 0xFFFFFFFF));
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+type writer = {
+  emit : string -> unit;
+  flush : unit -> unit;
+  release : unit -> unit;
+  mutable appends : int;
+  mutable closed : bool;
+}
+
+let create ?(flush = fun () -> ()) ?(close = fun () -> ()) ~emit () =
+  { emit; flush; release = close; appends = 0; closed = false }
+
+let to_buffer buf = create ~emit:(Buffer.add_string buf) ()
+
+let open_file path =
+  let oc = open_out_bin path in
+  create
+    ~emit:(output_string oc)
+    ~flush:(fun () -> Stdlib.flush oc)
+    ~close:(fun () -> close_out_noerr oc)
+    ()
+
+let append w kind payload =
+  if w.closed then invalid_arg "Journal.append: writer is closed";
+  w.emit (encode_frame kind payload);
+  w.flush ();
+  w.appends <- w.appends + 1
+
+let appends w = w.appends
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    w.flush ();
+    w.release ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+type recovery = { records : record list; valid_bytes : int; dropped_bytes : int }
+
+let scan data =
+  let n = String.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok do
+    let p = !pos in
+    if p + frame_overhead > n then ok := false
+    else if String.sub data p 4 <> magic then ok := false
+    else
+      match kind_of_byte data.[p + 4] with
+      | None -> ok := false
+      | Some kind ->
+          let len = read_be32 data (p + 5) in
+          if len < 0 || len > max_payload || p + frame_overhead + len > n then ok := false
+          else begin
+            let crc = read_be32 data (p + 9) in
+            let payload = String.sub data (p + frame_overhead) len in
+            if Int32.to_int (frame_crc kind payload) land 0xFFFFFFFF <> crc then ok := false
+            else begin
+              records := { kind; payload } :: !records;
+              pos := p + frame_overhead + len
+            end
+          end
+  done;
+  { records = List.rev !records; valid_bytes = !pos; dropped_bytes = n - !pos }
+
+let scan_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok (scan data)
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read journal: %s" msg)
+
+let last_run records =
+  List.fold_left
+    (fun acc r -> match r.kind with Header -> [ r ] | Step | Checkpoint -> r :: acc)
+    [] records
+  |> List.rev

@@ -63,11 +63,17 @@ let parse_sexps tokens =
 
 type var = Input of int | Output of int
 
+(* Cap on variable indices: "X_999999999" in a corrupt file must be a
+   parse error, not a giga-element bound array. *)
+let max_var_index = 100_000
+
 let var_of_name name =
   let parse_index prefix =
     let plen = String.length prefix in
     if String.length name > plen && String.sub name 0 plen = prefix then
-      int_of_string_opt (String.sub name plen (String.length name - plen))
+      match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+      | Some i when i >= 0 && i <= max_var_index -> Some i
+      | Some _ | None -> None
     else None
   in
   match parse_index "X_" with
@@ -154,7 +160,7 @@ let handle_assert p op lhs rhs =
       in
       record_output_constraint p exp
 
-let parse text ~name =
+let parse_exn text ~name =
   let sexps = parse_sexps (tokenize text) in
   let p = { input_lo = []; input_hi = []; num_inputs = 0; num_outputs = 0; unsafe = None } in
   List.iter
@@ -177,8 +183,20 @@ let parse text ~name =
   if p.num_inputs = 0 then failwith "Vnnlib: no input variables declared";
   if p.num_outputs = 0 then failwith "Vnnlib: no output variables declared";
   let lo = Array.make p.num_inputs nan and hi = Array.make p.num_inputs nan in
-  List.iter (fun (i, c) -> if Float.is_nan lo.(i) || c > lo.(i) then lo.(i) <- c) p.input_lo;
-  List.iter (fun (i, c) -> if Float.is_nan hi.(i) || c < hi.(i) then hi.(i) <- c) p.input_hi;
+  let declared_input i =
+    if i >= p.num_inputs then
+      failwith (Printf.sprintf "Vnnlib: bound on undeclared input X_%d" i)
+  in
+  List.iter
+    (fun (i, c) ->
+      declared_input i;
+      if Float.is_nan lo.(i) || c > lo.(i) then lo.(i) <- c)
+    p.input_lo;
+  List.iter
+    (fun (i, c) ->
+      declared_input i;
+      if Float.is_nan hi.(i) || c < hi.(i) then hi.(i) <- c)
+    p.input_hi;
   Array.iteri
     (fun i v ->
       if Float.is_nan v || Float.is_nan hi.(i) then
@@ -191,8 +209,22 @@ let parse text ~name =
       (* Unsafe set: unsafe_expr >= 0.  The property (safety) is its
          negation: -unsafe_expr > 0, represented in the closed >= form. *)
       let c = Vec.zeros p.num_outputs in
-      List.iter (fun (j, k) -> c.(j) <- c.(j) -. k) unsafe.coeffs;
+      List.iter
+        (fun (j, k) ->
+          if j >= p.num_outputs then
+            failwith (Printf.sprintf "Vnnlib: assertion on undeclared output Y_%d" j);
+          c.(j) <- c.(j) -. k)
+        unsafe.coeffs;
       Prop.make ~name ~input ~c ~offset:(-.unsafe.const)
+
+let parse text ~name =
+  (* Box.make rejects lo > hi with Invalid_argument, and pathological
+     nesting can exhaust the parser's stack; both must surface as the
+     documented Failure. *)
+  match parse_exn text ~name with
+  | prop -> prop
+  | exception Invalid_argument msg -> failwith ("Vnnlib: invalid property: " ^ msg)
+  | exception Stack_overflow -> failwith "Vnnlib: expression nesting too deep"
 
 let parse_file path =
   let ic = open_in path in

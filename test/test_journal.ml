@@ -1,0 +1,381 @@
+(* Journal framing, kill recovery, journal resume, and supervised runs. *)
+
+module Journal = Ivan_resilience.Journal
+module Supervisor = Ivan_supervise.Supervisor
+module Engine = Ivan_bab.Engine
+module Heuristic = Ivan_bab.Heuristic
+module Analyzer = Ivan_analyzer.Analyzer
+
+let scan_shape = Alcotest.(triple int int int)
+
+let shape (r : Journal.recovery) =
+  (List.length r.records, r.valid_bytes, r.dropped_bytes)
+
+(* --- framing ------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let buf = Buffer.create 256 in
+  let w = Journal.to_buffer buf in
+  Journal.append w Journal.Header "fingerprint";
+  Journal.append w Journal.Step "{\"event\":\"dequeued\"}\n";
+  Journal.append w Journal.Checkpoint "ivan-checkpoint 3\n...";
+  Journal.append w Journal.Step "";
+  Journal.close w;
+  let bytes = Buffer.contents buf in
+  let r = Journal.scan bytes in
+  Alcotest.(check scan_shape)
+    "all frames recovered, nothing dropped"
+    (4, String.length bytes, 0)
+    (shape r);
+  Alcotest.(check (list (pair string string)))
+    "kinds and payloads survive the round trip"
+    [
+      ("header", "fingerprint");
+      ("step", "{\"event\":\"dequeued\"}\n");
+      ("checkpoint", "ivan-checkpoint 3\n...");
+      ("step", "");
+    ]
+    (List.map
+       (fun (rec_ : Journal.record) ->
+         (Journal.kind_name rec_.kind, rec_.payload))
+       r.records)
+
+let test_scan_empty () =
+  Alcotest.(check scan_shape) "empty input" (0, 0, 0) (shape (Journal.scan ""))
+
+let test_scan_garbage () =
+  let garbage = "this is not a journal, not even close........" in
+  Alcotest.(check scan_shape)
+    "arbitrary bytes are all dropped"
+    (0, 0, String.length garbage)
+    (shape (Journal.scan garbage))
+
+let frames payloads =
+  let buf = Buffer.create 256 in
+  let w = Journal.to_buffer buf in
+  List.iter (fun (k, p) -> Journal.append w k p) payloads;
+  Buffer.contents buf
+
+let test_torn_tail_every_offset () =
+  let two =
+    frames [ (Journal.Header, "fp"); (Journal.Step, "payload-one") ]
+  in
+  let three = two ^ Journal.encode_frame Journal.Step "payload-two" in
+  (* Cutting anywhere strictly inside the third frame must recover
+     exactly the first two and drop the partial bytes. *)
+  for cut = String.length two + 1 to String.length three - 1 do
+    let r = Journal.scan (String.sub three 0 cut) in
+    Alcotest.(check scan_shape)
+      (Printf.sprintf "torn at byte %d" cut)
+      (2, String.length two, cut - String.length two)
+      (shape r)
+  done
+
+let test_corrupt_byte_truncates () =
+  let one = frames [ (Journal.Header, "fp") ] in
+  let three =
+    frames
+      [
+        (Journal.Header, "fp");
+        (Journal.Step, "payload-one");
+        (Journal.Step, "payload-two");
+      ]
+  in
+  (* Flip one byte of the second frame's payload: CRC must reject it and
+     recovery must keep only the first frame. *)
+  let b = Bytes.of_string three in
+  let off = String.length one + 13 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+  let r = Journal.scan (Bytes.to_string b) in
+  Alcotest.(check scan_shape)
+    "recovery stops at the corrupt frame"
+    (1, String.length one, String.length three - String.length one)
+    (shape r)
+
+let test_impossible_length_rejected () =
+  let one = frames [ (Journal.Header, "fp") ] in
+  (* Hand-build a frame claiming a payload far beyond the cap. *)
+  let bogus = Bytes.of_string (Journal.encode_frame Journal.Step "x") in
+  Bytes.set bogus 5 '\x7f';
+  let r = Journal.scan (one ^ Bytes.to_string bogus) in
+  Alcotest.(check int) "only the valid frame survives" 1
+    (List.length r.records);
+  Alcotest.(check int) "valid prefix length" (String.length one) r.valid_bytes
+
+let test_last_run () =
+  let records =
+    [
+      { Journal.kind = Journal.Header; payload = "a" };
+      { Journal.kind = Journal.Step; payload = "1" };
+      { Journal.kind = Journal.Header; payload = "b" };
+      { Journal.kind = Journal.Step; payload = "2" };
+      { Journal.kind = Journal.Checkpoint; payload = "3" };
+    ]
+  in
+  let suffix = Journal.last_run records in
+  Alcotest.(check (list string))
+    "suffix from the newest header"
+    [ "b"; "2"; "3" ]
+    (List.map (fun (r : Journal.record) -> r.payload) suffix);
+  Alcotest.(check int) "headerless journal is returned whole" 2
+    (List.length (Journal.last_run (List.tl (List.tl (List.tl records)))))
+
+let test_writer_close_semantics () =
+  let buf = Buffer.create 64 in
+  let w = Journal.to_buffer buf in
+  Journal.append w Journal.Header "fp";
+  Alcotest.(check int) "appends counted" 1 (Journal.appends w);
+  Journal.close w;
+  Journal.close w;
+  (* idempotent *)
+  match Journal.append w Journal.Step "late" with
+  | () -> Alcotest.fail "append after close must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_file_round_trip () =
+  let path = Filename.temp_file "ivan_journal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w = Journal.open_file path in
+      Journal.append w Journal.Header "fp";
+      Journal.append w Journal.Step "s";
+      Journal.close w;
+      match Journal.scan_file path with
+      | Error msg -> Alcotest.failf "scan_file failed: %s" msg
+      | Ok r ->
+          Alcotest.(check int) "both frames read back" 2
+            (List.length r.records);
+          Alcotest.(check int) "no tail" 0 r.dropped_bytes)
+
+let test_scan_file_missing () =
+  match Journal.scan_file "/nonexistent/ivan.wal" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scan_file on a missing path must be Error"
+
+(* --- engine journaling + resume ------------------------------------ *)
+
+let verdict_name = function
+  | Engine.Proved -> "proved"
+  | Engine.Disproved _ -> "disproved"
+  | Engine.Exhausted -> "exhausted"
+
+let journaled_run ?(offset = 1.7) ?(journal_every = 4) () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset offset in
+  let buf = Buffer.create 4096 in
+  let journal = Journal.to_buffer buf in
+  let engine =
+    Engine.create
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~journal ~journal_every ~net ~prop ()
+  in
+  let run = Engine.run engine in
+  Journal.close journal;
+  (net, prop, run, Buffer.contents buf)
+
+let test_journal_structure () =
+  let net, prop, _run, bytes = journaled_run () in
+  let r = Journal.scan bytes in
+  Alcotest.(check int) "journal has no torn tail" 0 r.dropped_bytes;
+  (match r.records with
+  | { Journal.kind = Journal.Header; payload } :: _ ->
+      Alcotest.(check string)
+        "header carries the config fingerprint"
+        (Engine.fingerprint ~net ~prop)
+        payload
+  | _ -> Alcotest.fail "first frame must be a Header");
+  (match List.rev r.records with
+  | { Journal.kind = Journal.Checkpoint; _ } :: _ -> ()
+  | _ -> Alcotest.fail "terminal frame must be a Checkpoint")
+
+let test_resume_full_journal () =
+  let net, prop, golden, bytes = journaled_run () in
+  match
+    Engine.resume_journal
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~net ~prop bytes
+  with
+  | Error msg -> Alcotest.failf "resume failed: %s" msg
+  | Ok (engine, info) ->
+      let resumed = Engine.run engine in
+      Alcotest.(check string)
+        "same verdict" (verdict_name golden.verdict)
+        (verdict_name resumed.verdict);
+      Alcotest.(check int)
+        "same analyzer calls" golden.stats.analyzer_calls
+        resumed.stats.analyzer_calls;
+      Alcotest.(check int)
+        "replay is bookkeeping only: no calls re-made before run"
+        golden.stats.analyzer_calls
+        (info.replayed_calls
+        + (Engine.calls engine - info.replayed_calls));
+      Alcotest.(check int) "nothing dropped" 0 info.dropped_bytes
+
+let test_resume_truncated_journal () =
+  let net, prop, golden, bytes = journaled_run ~journal_every:2 () in
+  let r = Journal.scan bytes in
+  (* Kill roughly mid-run: keep the first half of the frames. *)
+  let keep = List.length r.records / 2 in
+  let cut =
+    (* byte offset after the keep-th frame *)
+    let rec advance bytes_seen n records =
+      if n = 0 then bytes_seen
+      else
+        match records with
+        | [] -> bytes_seen
+        | (rec_ : Journal.record) :: rest ->
+            advance
+              (bytes_seen
+              + String.length (Journal.encode_frame rec_.kind rec_.payload))
+              (n - 1) rest
+    in
+    advance 0 keep r.records
+  in
+  match
+    Engine.resume_journal
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~net ~prop
+      (String.sub bytes 0 cut)
+  with
+  | Error msg -> Alcotest.failf "resume failed: %s" msg
+  | Ok (engine, _info) ->
+      let resumed = Engine.run engine in
+      Alcotest.(check string)
+        "killed-and-resumed run reproduces the verdict"
+        (verdict_name golden.verdict)
+        (verdict_name resumed.verdict);
+      Alcotest.(check int)
+        "and the analyzer-call count" golden.stats.analyzer_calls
+        resumed.stats.analyzer_calls
+
+let test_resume_wrong_fingerprint () =
+  let _net, _prop, _run, bytes = journaled_run ~offset:1.7 () in
+  let net = Fixtures.paper_net () in
+  let other = Fixtures.paper_prop_with_offset 1.3 in
+  match
+    Engine.resume_journal
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~net ~prop:other bytes
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resume against the wrong property must be Error"
+
+let test_resume_empty_journal () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.7 in
+  match
+    Engine.resume_journal
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~net ~prop ""
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resume from an empty journal must be Error"
+
+(* --- supervisor ----------------------------------------------------- *)
+
+let test_supervise_clean_run () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.7 in
+  let engine =
+    Engine.create
+      ~analyzer:(Analyzer.zonotope ())
+      ~heuristic:Heuristic.input_smear ~net ~prop ()
+  in
+  let outcome =
+    Supervisor.supervise ~limits:Supervisor.default_limits
+      ~heuristic:Heuristic.input_smear ~net ~prop engine
+  in
+  Alcotest.(check string) "clean verdict" "proved"
+    (verdict_name outcome.run.verdict);
+  Alcotest.(check int) "no escalations" 0 (List.length outcome.escalations);
+  (* a short run may finish before the first scheduled sample *)
+  Alcotest.(check bool) "check counter sane" true (outcome.checks >= 0)
+
+let test_supervise_deadline_ladder () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.7 in
+  let buf = Buffer.create 4096 in
+  let journal = Journal.to_buffer buf in
+  let engine =
+    Engine.create
+      ~analyzer:(Analyzer.interval ())
+      ~heuristic:Heuristic.input_smear ~journal ~net ~prop ()
+  in
+  let limits =
+    {
+      Supervisor.max_seconds = 0.0 (* breached from the first check *);
+      max_major_words = infinity;
+      check_every = 1;
+      grace_seconds = 0.0;
+    }
+  in
+  let outcome =
+    Supervisor.supervise ~limits
+      ~fallbacks:[ Analyzer.interval () ]
+      ~heuristic:Heuristic.input_smear ~journal ~net ~prop engine
+  in
+  Journal.close journal;
+  Alcotest.(check string) "cancelled cleanly" "exhausted"
+    (verdict_name outcome.run.verdict);
+  let names =
+    List.map
+      (function
+        | Supervisor.Compacted _ -> "compacted"
+        | Supervisor.Degraded _ -> "degraded"
+        | Supervisor.Shed _ -> "shed"
+        | Supervisor.Cancelled _ -> "cancelled")
+      outcome.escalations
+  in
+  Alcotest.(check bool) "ladder ends in a cancel" true
+    (List.mem "cancelled" names);
+  Alcotest.(check bool) "degradation was attempted first" true
+    (List.mem "degraded" names);
+  (* The journal must be intact — no torn tail — and resumable even
+     after the ladder rebuilt and then cancelled the engine. *)
+  let r = Journal.scan (Buffer.contents buf) in
+  Alcotest.(check int) "journal flushed cleanly" 0 r.dropped_bytes;
+  match
+    Engine.resume_journal
+      ~analyzer:(Analyzer.interval ())
+      ~heuristic:Heuristic.input_smear ~net ~prop (Buffer.contents buf)
+  with
+  | Error msg -> Alcotest.failf "post-cancel journal not resumable: %s" msg
+  | Ok _ -> ()
+
+let test_mb_words () =
+  (* 1 MB = 131072 8-byte words. *)
+  Alcotest.(check (float 1e-9)) "mb_words" 131072.0 (Supervisor.mb_words 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "scan: empty input" `Quick test_scan_empty;
+    Alcotest.test_case "scan: garbage input" `Quick test_scan_garbage;
+    Alcotest.test_case "scan: torn tail at every offset" `Quick
+      test_torn_tail_every_offset;
+    Alcotest.test_case "scan: corrupt byte truncates" `Quick
+      test_corrupt_byte_truncates;
+    Alcotest.test_case "scan: impossible length rejected" `Quick
+      test_impossible_length_rejected;
+    Alcotest.test_case "last_run picks the newest header" `Quick
+      test_last_run;
+    Alcotest.test_case "writer close semantics" `Quick
+      test_writer_close_semantics;
+    Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "scan_file: missing path" `Quick test_scan_file_missing;
+    Alcotest.test_case "engine journal structure" `Quick
+      test_journal_structure;
+    Alcotest.test_case "resume from a complete journal" `Quick
+      test_resume_full_journal;
+    Alcotest.test_case "resume from a truncated journal" `Quick
+      test_resume_truncated_journal;
+    Alcotest.test_case "resume rejects a foreign fingerprint" `Quick
+      test_resume_wrong_fingerprint;
+    Alcotest.test_case "resume rejects an empty journal" `Quick
+      test_resume_empty_journal;
+    Alcotest.test_case "supervise: clean run" `Quick test_supervise_clean_run;
+    Alcotest.test_case "supervise: deadline escalation ladder" `Quick
+      test_supervise_deadline_ladder;
+    Alcotest.test_case "mb_words" `Quick test_mb_words;
+  ]

@@ -14,6 +14,8 @@ let () =
       ("bab", Test_bab.suite);
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);
+      ("journal", Test_journal.suite);
+      ("fuzz", Test_fuzz.suite);
       ("core", Test_core.suite);
       ("harness", Test_harness.suite);
       ("leaky", Test_leaky.suite);

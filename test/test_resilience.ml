@@ -380,6 +380,95 @@ let test_fault_campaign () =
   Alcotest.(check bool) "campaign exercised real faults" true (!total_injected > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Satellite: explicit fault schedules — edge cases a seeded rate
+   cannot pin to an exact call. *)
+
+(* The very first LP solve fails.  lp_triangle absorbs solver failures
+   below the resilience layer — it falls back on its sound cheap bound —
+   so the retry machinery must stay untouched and the verdict must
+   survive on a (possibly) weaker root bound. *)
+let test_fault_at_first_lp_solve () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.6 in
+  let reference =
+    Bab.verify ~analyzer:(Analyzer.lp_triangle ()) ~heuristic:Heuristic.zono_coeff ~net ~prop ()
+  in
+  let plan = Fault.plan ~at:[ (Fault.Lp_solve, 0, Fault.Lp_numerical) ] ~seed:0 () in
+  let run =
+    Fault.with_lp_faults plan (fun () ->
+        Bab.verify
+          ~analyzer:(Analyzer.lp_triangle ())
+          ~heuristic:Heuristic.zono_coeff ~policy:Analyzer.default_policy ~net ~prop ())
+  in
+  Alcotest.(check int) "exactly the scheduled fault fired" 1 (Fault.injected plan);
+  Alcotest.(check bool) "verdict preserved" true (run.Bab.verdict = reference.Bab.verdict);
+  Alcotest.(check int) "absorbed below the resilience layer" 0
+    run.Bab.stats.Bab.faults_absorbed;
+  Alcotest.(check int) "no retries" 0 run.Bab.stats.Bab.retries;
+  Alcotest.(check int) "no fallback bounds" 0 run.Bab.stats.Bab.fallback_bounds;
+  Alcotest.(check bool) "tree well-formed" true (Tree.well_formed run.Bab.tree)
+
+(* The fault lands on the last frontier node of the run: the reference
+   run's final analyzer call.  One retry must recover it and leave the
+   run otherwise indistinguishable. *)
+let test_fault_at_final_frontier_node () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.6 in
+  let analyzer = Analyzer.lp_triangle () in
+  let reference = Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~net ~prop () in
+  let last = reference.Bab.stats.Bab.analyzer_calls - 1 in
+  Alcotest.(check bool) "reference run does analyze nodes" true (last >= 0);
+  let plan =
+    Fault.plan
+      ~at:[ (Fault.Analyzer_run, last, Fault.Transient "final node dies") ]
+      ~seed:0 ()
+  in
+  let run =
+    Bab.verify
+      ~analyzer:(Fault.wrap_analyzer plan analyzer)
+      ~heuristic:Heuristic.zono_coeff ~policy:Analyzer.default_policy ~net ~prop ()
+  in
+  Alcotest.(check int) "exactly the scheduled fault fired" 1 (Fault.injected plan);
+  Alcotest.(check bool) "verdict preserved" true (run.Bab.verdict = reference.Bab.verdict);
+  Alcotest.(check string) "tree preserved" (Tree.to_string reference.Bab.tree)
+    (Tree.to_string run.Bab.tree);
+  Alcotest.(check int) "analyzer calls preserved" reference.Bab.stats.Bab.analyzer_calls
+    run.Bab.stats.Bab.analyzer_calls;
+  Alcotest.(check int) "one absorbed failure" 1 run.Bab.stats.Bab.faults_absorbed;
+  Alcotest.(check int) "one retry" 1 run.Bab.stats.Bab.retries;
+  Alcotest.(check int) "no fallback bounds" 0 run.Bab.stats.Bab.fallback_bounds
+
+(* Two faults race the fallback chain on one node: the first attempt
+   and its single retry (default policy) both die, so the chain must
+   degrade that node to the next analyzer — exactly one fallback bound,
+   exactly two absorbed failures, exactly one retry. *)
+let test_two_faults_race_fallback_chain () =
+  let net = Fixtures.paper_net () in
+  let prop = Fixtures.paper_prop_with_offset 1.6 in
+  let analyzer = Analyzer.lp_triangle () in
+  let reference = Bab.verify ~analyzer ~heuristic:Heuristic.zono_coeff ~net ~prop () in
+  let plan =
+    Fault.plan
+      ~at:
+        [
+          (Fault.Analyzer_run, 0, Fault.Transient "first attempt dies");
+          (Fault.Analyzer_run, 1, Fault.Transient "retry dies too");
+        ]
+      ~seed:0 ()
+  in
+  let run =
+    Bab.verify
+      ~analyzer:(Fault.wrap_analyzer plan analyzer)
+      ~heuristic:Heuristic.zono_coeff ~policy:Analyzer.default_policy ~net ~prop ()
+  in
+  Alcotest.(check int) "both scheduled faults fired" 2 (Fault.injected plan);
+  Alcotest.(check bool) "verdict preserved" true (run.Bab.verdict = reference.Bab.verdict);
+  Alcotest.(check int) "two absorbed failures" 2 run.Bab.stats.Bab.faults_absorbed;
+  Alcotest.(check int) "one retry" 1 run.Bab.stats.Bab.retries;
+  Alcotest.(check int) "exactly one fallback bound" 1 run.Bab.stats.Bab.fallback_bounds;
+  Alcotest.(check bool) "tree well-formed" true (Tree.well_formed run.Bab.tree)
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint / resume *)
 
 let paper_engine ?policy ?budget () =
@@ -393,6 +482,10 @@ let finish engine =
   let rec go () = match Engine.step engine with Engine.Running -> go () | Engine.Finished r -> r in
   go ()
 
+let restore_ok = function
+  | Ok engine -> engine
+  | Error msg -> Alcotest.failf "restore failed: %s" msg
+
 let test_checkpoint_midrun_roundtrip () =
   let engine, net, prop = paper_engine () in
   for _ = 1 to 3 do
@@ -403,7 +496,7 @@ let test_checkpoint_midrun_roundtrip () =
   let snapshot = Engine.checkpoint engine in
   let original = finish engine in
   let restored =
-    Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop snapshot
+    restore_ok (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop snapshot)
   in
   let resumed = finish restored in
   Alcotest.(check bool) "same verdict" true (original.Bab.verdict = resumed.Bab.verdict);
@@ -418,8 +511,9 @@ let test_checkpoint_terminal_roundtrip () =
   let engine, net, prop = paper_engine () in
   let run = finish engine in
   let restored =
-    Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop
-      (Engine.checkpoint engine)
+    restore_ok
+      (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop
+         (Engine.checkpoint engine))
   in
   (match Engine.finished restored with
   | Some r ->
@@ -443,7 +537,9 @@ let test_checkpoint_file_roundtrip () =
       let original = finish engine in
       let resumed =
         finish
-          (Engine.restore_from_file ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop path)
+          (restore_ok
+             (Engine.restore_from_file ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop
+                path))
       in
       Alcotest.(check bool) "file roundtrip verdict" true
         (original.Bab.verdict = resumed.Bab.verdict);
@@ -461,16 +557,19 @@ let test_checkpoint_exhausted_then_more_budget () =
   let snapshot = Engine.checkpoint engine in
   (* Without a budget override the recorded Exhausted verdict replays. *)
   (match
-     Engine.finished (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop snapshot)
+     Engine.finished
+       (restore_ok
+          (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop snapshot))
    with
   | Some r -> Alcotest.(check bool) "replayed as exhausted" true (r.Bab.verdict = Bab.Exhausted)
   | None -> Alcotest.fail "no-override restore should stay terminal");
   (* With one, the search continues to the true verdict. *)
   let resumed =
     finish
-      (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff
-         ~budget:{ Bab.max_analyzer_calls = 10_000; max_seconds = infinity }
-         ~net ~prop snapshot)
+      (restore_ok
+         (Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff
+            ~budget:{ Bab.max_analyzer_calls = 10_000; max_seconds = infinity }
+            ~net ~prop snapshot))
   in
   let reference = Bab.verify ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop () in
   Alcotest.(check bool) "resumed run proves the property" true
@@ -486,8 +585,11 @@ let test_checkpoint_rejects_garbage () =
   List.iter
     (fun doc ->
       match Engine.restore ~analyzer:lp ~heuristic:Heuristic.zono_coeff ~net ~prop doc with
-      | exception Failure _ -> ()
-      | _ -> Alcotest.failf "malformed checkpoint %S accepted" doc)
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed checkpoint %S accepted" doc
+      | exception e ->
+          Alcotest.failf "malformed checkpoint %S raised %s instead of returning Error" doc
+            (Printexc.to_string e))
     [ ""; "nonsense"; "ivan-checkpoint 99\ntree:\n" ]
 
 (* ------------------------------------------------------------------ *)
@@ -557,6 +659,9 @@ let suite =
     ("engine absorbs crashing analyzer", `Quick, test_engine_absorbs_crashing_analyzer);
     ("engine retries preserve the run", `Quick, test_engine_policy_retries_preserve_run);
     ("seeded fault campaign", `Slow, test_fault_campaign);
+    ("fault at the first LP solve", `Quick, test_fault_at_first_lp_solve);
+    ("fault at the final frontier node", `Quick, test_fault_at_final_frontier_node);
+    ("two faults race the fallback chain", `Quick, test_two_faults_race_fallback_chain);
     ("checkpoint mid-run roundtrip", `Quick, test_checkpoint_midrun_roundtrip);
     ("checkpoint terminal roundtrip", `Quick, test_checkpoint_terminal_roundtrip);
     ("checkpoint file roundtrip", `Quick, test_checkpoint_file_roundtrip);
